@@ -1,0 +1,52 @@
+package etrain
+
+import (
+	"etrain/internal/battery"
+	"etrain/internal/capture"
+	"etrain/internal/radio"
+)
+
+// Traffic-capture analysis (§II-B): classify unlabeled packet captures —
+// timestamps and sizes only, as Wireshark records them — and recover
+// heartbeat cycles blind.
+type (
+	// CapturedPacket is one unlabeled captured transmission.
+	CapturedPacket = capture.Packet
+	// Flow is one classified size-group of a capture.
+	Flow = capture.Flow
+	// FlowKind labels a flow as heartbeat / adaptive-heartbeat / data.
+	FlowKind = capture.FlowKind
+	// CaptureOptions tunes the classifier.
+	CaptureOptions = capture.Options
+)
+
+// Flow kinds.
+const (
+	FlowHeartbeat         = capture.FlowHeartbeat
+	FlowAdaptiveHeartbeat = capture.FlowAdaptiveHeartbeat
+	FlowData              = capture.FlowData
+)
+
+// ClassifyCapture groups an unlabeled capture by packet size and labels
+// each group, identifying heartbeat flows by their periodicity.
+var ClassifyCapture = capture.Classify
+
+// HeartbeatFlows filters a classification to its heartbeat flows.
+var HeartbeatFlows = capture.Heartbeats
+
+// Battery impact (§II-D): convert radio energy into capacity drain.
+type (
+	// Battery describes a phone battery (capacity and voltage).
+	Battery = battery.Battery
+)
+
+// GalaxyS4Battery returns the paper's 1700 mAh / 3.7 V reference battery.
+var GalaxyS4Battery = battery.GalaxyS4
+
+// The additional radio models for cross-technology studies.
+var (
+	// LTERadio maps LTE's hotter ~11.6 s tail onto the power model.
+	LTERadio = radio.LTE
+	// WiFiRadio models WiFi's sub-second PSM linger.
+	WiFiRadio = radio.WiFi
+)

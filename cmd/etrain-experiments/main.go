@@ -1,0 +1,80 @@
+// Command etrain-experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	etrain-experiments            # run everything
+//	etrain-experiments -run fig7a # run one experiment
+//	etrain-experiments -list      # list experiment IDs and claims
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"etrain/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "etrain-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		id        = flag.String("run", "all", "experiment ID to run, or 'all'")
+		seed      = flag.Int64("seed", 5, "random seed")
+		list      = flag.Bool("list", false, "list available experiments and exit")
+		ablations = flag.Bool("ablations", false, "include the design-choice ablation studies")
+		format    = flag.String("format", "text", "output format: text | markdown")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-22s %s\n", e.ID, e.Claim)
+		}
+		for _, e := range experiments.Ablations() {
+			fmt.Printf("%-22s %s\n", e.ID, e.Claim)
+		}
+		return nil
+	}
+
+	opts := experiments.Options{Seed: *seed}
+	var entries []experiments.Entry
+	if *id == "all" {
+		entries = experiments.All()
+		if *ablations {
+			entries = append(entries, experiments.Ablations()...)
+		}
+	} else {
+		entry, err := experiments.ByID(*id)
+		if err != nil {
+			return err
+		}
+		entries = []experiments.Entry{entry}
+	}
+	for _, e := range entries {
+		tbl, err := e.Run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		switch *format {
+		case "markdown":
+			fmt.Printf("**Paper claim:** %s\n\n", e.Claim)
+			if err := tbl.Markdown(os.Stdout); err != nil {
+				return err
+			}
+		case "text":
+			fmt.Printf("paper claim: %s\n", e.Claim)
+			if err := tbl.Fprint(os.Stdout); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown format %q", *format)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+// Command etrain-sim runs a single trace-driven simulation and prints its
+// energy/delay metrics.
+//
+// Usage:
+//
+//	etrain-sim -strategy etrain -theta 2
+//	etrain-sim -strategy etime -v 8 -lambda 0.12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"etrain"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "etrain-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		strategy = flag.String("strategy", "etrain", "etrain | baseline | peres | etime")
+		theta    = flag.Float64("theta", 2.0, "eTrain cost bound Θ")
+		k        = flag.Int("k", 0, "eTrain batch limit k (0 = infinite)")
+		omega    = flag.Float64("omega", 0.5, "PerES performance cost bound Ω")
+		v        = flag.Float64("v", 8, "eTime tradeoff parameter V")
+		lambda   = flag.Float64("lambda", 0.08, "total cargo arrival rate (packets/s)")
+		horizon  = flag.Duration("horizon", 2*time.Hour, "simulated span")
+		seed     = flag.Int64("seed", 5, "random seed")
+	)
+	flag.Parse()
+
+	var kind etrain.StrategyKind
+	switch *strategy {
+	case "etrain":
+		kind = etrain.StrategyETrain
+	case "baseline":
+		kind = etrain.StrategyBaseline
+	case "peres":
+		kind = etrain.StrategyPerES
+	case "etime":
+		kind = etrain.StrategyETime
+	default:
+		return fmt.Errorf("unknown strategy %q", *strategy)
+	}
+	cargo, err := etrain.CargoForLambda(*lambda)
+	if err != nil {
+		return err
+	}
+	res, err := etrain.Simulate(etrain.SimConfig{
+		Seed:    *seed,
+		Horizon: *horizon,
+		Cargo:   cargo,
+		Strategy: etrain.StrategyConfig{
+			Kind: kind, Theta: *theta, K: *k, Omega: *omega, V: *v,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("strategy             %s\n", res.Strategy)
+	fmt.Printf("horizon              %v\n", *horizon)
+	fmt.Printf("data packets         %d\n", res.Packets)
+	fmt.Printf("heartbeats           %d\n", res.Heartbeats)
+	fmt.Printf("total energy         %.1f J\n", res.Energy.Total())
+	fmt.Printf("  transmit           %.1f J\n", res.Energy.Transmit)
+	fmt.Printf("  tail               %.1f J\n", res.Energy.Tail)
+	fmt.Printf("normalized delay     %.1f s\n", res.NormalizedDelay.Seconds())
+	fmt.Printf("deadline violations  %.1f%%\n", res.DeadlineViolationRatio*100)
+	return nil
+}

@@ -1,0 +1,80 @@
+// Command etrain-tracegen generates synthetic traces in the repository's
+// file formats: 3G uplink bandwidth traces and Luna-Weibo-style user
+// behavior traces.
+//
+// Usage:
+//
+//	etrain-tracegen -kind bandwidth -duration 2h -out bw.txt
+//	etrain-tracegen -kind user -class active -users 5 -out users.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"etrain/internal/bandwidth"
+	"etrain/internal/randx"
+	"etrain/internal/tracefile"
+	"etrain/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "etrain-tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		kind     = flag.String("kind", "bandwidth", "bandwidth | user")
+		duration = flag.Duration("duration", 2*time.Hour, "bandwidth trace length")
+		class    = flag.String("class", "moderate", "user class: active | moderate | inactive")
+		users    = flag.Int("users", 1, "number of users to synthesize")
+		seed     = flag.Int64("seed", 1, "random seed")
+		out      = flag.String("out", "-", "output path, or - for stdout")
+	)
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+
+	src := randx.New(*seed)
+	switch *kind {
+	case "bandwidth":
+		trace, err := bandwidth.Synthesize(src, *duration, nil)
+		if err != nil {
+			return err
+		}
+		return tracefile.WriteBandwidthTrace(w, trace)
+	case "user":
+		var cls workload.ActivenessClass
+		switch *class {
+		case "active":
+			cls = workload.ClassActive
+		case "moderate":
+			cls = workload.ClassModerate
+		case "inactive":
+			cls = workload.ClassInactive
+		default:
+			return fmt.Errorf("unknown class %q", *class)
+		}
+		var records []workload.BehaviorRecord
+		for u := 0; u < *users; u++ {
+			userID := fmt.Sprintf("user-%03d", u)
+			records = append(records, workload.SynthesizeUser(src.Split(), userID, cls)...)
+		}
+		return tracefile.WriteUserTrace(w, records)
+	default:
+		return fmt.Errorf("unknown trace kind %q", *kind)
+	}
+}

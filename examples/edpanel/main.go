@@ -1,0 +1,61 @@
+// edpanel sweeps the energy–delay tradeoff of every scheduling strategy on
+// the paper's default workload (λ = 0.08, three IM trains, 2 hours) and
+// prints the E–D panel of Fig. 8a: eTrain against PerES, eTime and the
+// transmit-on-arrival baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"etrain"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const seed = 5
+
+	show := func(label string, control float64, cfg etrain.StrategyConfig) error {
+		res, err := etrain.Simulate(etrain.SimConfig{Seed: seed, Strategy: cfg})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-9s %-8.2f %8.0f J %8.1f s %9.1f%%\n",
+			label, control, res.Energy.Total(), res.NormalizedDelay.Seconds(),
+			res.DeadlineViolationRatio*100)
+		return nil
+	}
+
+	fmt.Printf("%-9s %-8s %10s %10s %10s\n", "strategy", "control", "energy", "delay", "violations")
+
+	for _, theta := range []float64{0, 1, 2, 4, 8, 14} {
+		cfg := etrain.StrategyConfig{Kind: etrain.StrategyETrain, Theta: theta}
+		if err := show("etrain", theta, cfg); err != nil {
+			return err
+		}
+	}
+	for _, omega := range []float64{0.2, 0.6, 1.0, 1.5} {
+		cfg := etrain.StrategyConfig{Kind: etrain.StrategyPerES, Omega: omega}
+		if err := show("peres", omega, cfg); err != nil {
+			return err
+		}
+	}
+	for _, v := range []float64{4, 8, 12, 16, 24} {
+		cfg := etrain.StrategyConfig{Kind: etrain.StrategyETime, V: v}
+		if err := show("etime", v, cfg); err != nil {
+			return err
+		}
+	}
+	if err := show("baseline", 0, etrain.StrategyConfig{Kind: etrain.StrategyBaseline}); err != nil {
+		return err
+	}
+
+	fmt.Println("\nReading the panel: at equal delay, eTrain's points sit below the others —")
+	fmt.Println("its cargo rides heartbeat tails that every strategy pays for anyway.")
+	return nil
+}

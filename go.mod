@@ -1,0 +1,3 @@
+module etrain
+
+go 1.22

@@ -1,0 +1,119 @@
+package android
+
+import (
+	"testing"
+	"time"
+
+	"etrain/internal/heartbeat"
+	"etrain/internal/randx"
+	"etrain/internal/workload"
+)
+
+func TestMailAppGeneratesTraffic(t *testing.T) {
+	d := newDevice(t)
+	defaultService(t, d, 0)
+	horizon := 2 * time.Hour
+	app := NewMailApp(d, randx.New(1), 3*time.Minute, 5*time.Minute, horizon)
+	for _, tr := range heartbeat.DefaultTrio() {
+		if _, err := StartTrain(d, tr, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Run(horizon); err != nil {
+		t.Fatal(err)
+	}
+	delivered := len(app.Cargo().Delivered()) + app.Cargo().PendingCount()
+	// Poisson(5min over 2h) ≈ 24 composes plus sync batches.
+	if delivered < 12 {
+		t.Fatalf("mail app produced only %d packets", delivered)
+	}
+}
+
+func TestMailAppDeterministic(t *testing.T) {
+	run := func() int {
+		d := newDevice(t)
+		defaultService(t, d, 0)
+		app := NewMailApp(d, randx.New(2), 3*time.Minute, 5*time.Minute, time.Hour)
+		if _, err := StartTrain(d, heartbeat.WeChat(), true); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Run(time.Hour); err != nil {
+			t.Fatal(err)
+		}
+		return len(app.Cargo().Delivered())
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("mail app not deterministic: %d vs %d", a, b)
+	}
+}
+
+func TestWeiboAppReplaysTrace(t *testing.T) {
+	d := newDevice(t)
+	defaultService(t, d, 0)
+	trace := workload.SynthesizeUser(randx.New(3), "u", workload.ClassModerate)
+	app := NewWeiboApp(d, 30*time.Second, trace)
+	if _, err := StartTrain(d, heartbeat.WeChat(), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(workload.SessionLength); err != nil {
+		t.Fatal(err)
+	}
+	withPayload := 0
+	for _, r := range trace {
+		if r.Size > 0 {
+			withPayload++
+		}
+	}
+	total := len(app.Cargo().Delivered()) + app.Cargo().PendingCount()
+	if total != withPayload {
+		t.Fatalf("weibo app holds %d packets, trace has %d with payload", total, withPayload)
+	}
+}
+
+func TestCloudAppSubmitsChunkBatches(t *testing.T) {
+	d := newDevice(t)
+	defaultService(t, d, 0)
+	app := NewCloudApp(d, randx.New(4), 5*time.Minute, 10*time.Minute, 2*time.Hour)
+	if _, err := StartTrain(d, heartbeat.QQ(), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(2 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	total := len(app.Cargo().Delivered()) + app.Cargo().PendingCount()
+	if total < 5 {
+		t.Fatalf("cloud app produced only %d chunks", total)
+	}
+	// Chunks are large.
+	for _, dp := range app.Cargo().Delivered() {
+		_ = dp
+	}
+}
+
+func TestThreeAppsTogetherOnStack(t *testing.T) {
+	d := newDevice(t)
+	svc := defaultService(t, d, 2.0)
+	src := randx.New(5)
+	horizon := time.Hour
+	mail := NewMailApp(d, src.Split(), 3*time.Minute, 5*time.Minute, horizon)
+	weibo := NewWeiboApp(d, 90*time.Second, workload.SynthesizeUser(src.Split(), "u", workload.ClassActive))
+	cloud := NewCloudApp(d, src.Split(), 5*time.Minute, 15*time.Minute, horizon)
+	for _, tr := range heartbeat.DefaultTrio() {
+		if _, err := StartTrain(d, tr, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Run(horizon); err != nil {
+		t.Fatal(err)
+	}
+	if svc.BeatsObserved() == 0 {
+		t.Fatal("no heartbeats observed")
+	}
+	delivered := len(mail.Cargo().Delivered()) + len(weibo.Cargo().Delivered()) + len(cloud.Cargo().Delivered())
+	if delivered == 0 {
+		t.Fatal("no cargo delivered")
+	}
+	if d.Energy(horizon).Total() <= 0 {
+		t.Fatal("no energy accounted")
+	}
+}

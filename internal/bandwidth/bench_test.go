@@ -1,0 +1,33 @@
+package bandwidth
+
+import (
+	"testing"
+	"time"
+
+	"etrain/internal/randx"
+)
+
+// BenchmarkTransmitTime measures the piecewise bandwidth integration for a
+// 100 KB payload on a synthetic trace.
+func BenchmarkTransmitTime(b *testing.B) {
+	tr, err := Synthesize(randx.New(1), 2*time.Hour, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at := time.Duration(i%7200) * time.Second
+		if tr.TransmitTime(at, 100<<10) <= 0 {
+			b.Fatal("zero transmit time")
+		}
+	}
+}
+
+// BenchmarkSynthesize measures generating the paper-scale 2-hour trace.
+func BenchmarkSynthesize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Synthesize(randx.New(int64(i)), 2*time.Hour, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package bandwidth
+
+import (
+	"math"
+	"time"
+
+	"etrain/internal/randx"
+)
+
+// Regime describes one mobility regime of the synthetic trace generator.
+// The paper's trace was collected riding a bus downtown and then walking on
+// campus; each environment has a distinct bandwidth mean, volatility and
+// temporal correlation.
+type Regime struct {
+	Name string
+	// Mean uplink bandwidth in bytes/second.
+	Mean float64
+	// StdDev of the stationary distribution in bytes/second.
+	StdDev float64
+	// Corr is the one-second autocorrelation in (0, 1); larger is smoother.
+	Corr float64
+	// MeanDwell is how long the process stays in this regime on average.
+	MeanDwell time.Duration
+}
+
+// DefaultRegimes returns the three regimes used to emulate the paper's
+// bus-then-campus collection run over a 3G (TD-SCDMA) uplink.
+func DefaultRegimes() []Regime {
+	return []Regime{
+		{Name: "bus", Mean: 180e3, StdDev: 90e3, Corr: 0.92, MeanDwell: 120 * time.Second},
+		{Name: "walk", Mean: 320e3, StdDev: 80e3, Corr: 0.97, MeanDwell: 180 * time.Second},
+		{Name: "indoor", Mean: 90e3, StdDev: 50e3, Corr: 0.95, MeanDwell: 60 * time.Second},
+	}
+}
+
+// Synthesize generates a trace of the given duration from a regime-switching
+// Gauss–Markov process. The same seed always yields the same trace.
+func Synthesize(src *randx.Source, duration time.Duration, regimes []Regime) (*Trace, error) {
+	if len(regimes) == 0 {
+		regimes = DefaultRegimes()
+	}
+	n := int(duration / time.Second)
+	if n <= 0 {
+		n = 1
+	}
+	samples := make([]float64, 0, n)
+
+	regimeIdx := src.Intn(len(regimes))
+	reg := regimes[regimeIdx]
+	dwellLeft := int(src.Exp(reg.MeanDwell.Seconds()))
+	value := reg.Mean
+
+	for len(samples) < n {
+		if dwellLeft <= 0 {
+			// Switch to a different regime, uniformly among the others.
+			next := src.Intn(len(regimes) - 1)
+			if next >= regimeIdx {
+				next++
+			}
+			regimeIdx = next
+			reg = regimes[regimeIdx]
+			dwellLeft = int(src.Exp(reg.MeanDwell.Seconds()))
+			if dwellLeft < 1 {
+				dwellLeft = 1
+			}
+		}
+		// AR(1) step towards the regime mean.
+		innovation := reg.StdDev * sqrt1m(reg.Corr) * src.NormFloat64()
+		value = reg.Mean + reg.Corr*(value-reg.Mean) + innovation
+		if value < 1e3 {
+			value = 1e3 // deep fade floor: 1 KB/s
+		}
+		samples = append(samples, value)
+		dwellLeft--
+	}
+	return NewTrace(samples)
+}
+
+// sqrt1m returns sqrt(1 - c²), the innovation scale that gives an AR(1)
+// process the requested stationary standard deviation.
+func sqrt1m(c float64) float64 {
+	v := 1 - c*c
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Estimator models the imperfect channel knowledge available to strategies
+// like PerES and eTime: the estimate of the current bandwidth is the true
+// value one observation lag ago, corrupted by multiplicative noise.
+// eTrain deliberately never uses an Estimator (paper §IV: channel
+// obliviousness is an advantage).
+type Estimator struct {
+	trace *Trace
+	src   *randx.Source
+	// Lag is the observation delay; estimates describe t − Lag.
+	Lag time.Duration
+	// NoiseStdDev is the relative error std-dev (e.g. 0.3 for 30%).
+	NoiseStdDev float64
+}
+
+// NewEstimator returns an estimator over trace with the given lag and
+// relative noise.
+func NewEstimator(trace *Trace, src *randx.Source, lag time.Duration, noise float64) *Estimator {
+	return &Estimator{trace: trace, src: src, Lag: lag, NoiseStdDev: noise}
+}
+
+// Estimate returns the strategy-visible bandwidth estimate for time at.
+func (e *Estimator) Estimate(at time.Duration) float64 {
+	truth := e.trace.At(at - e.Lag)
+	noisy := truth * (1 + e.NoiseStdDev*e.src.NormFloat64())
+	if noisy < 1e3 {
+		noisy = 1e3
+	}
+	return noisy
+}

@@ -1,0 +1,74 @@
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"etrain/internal/sched"
+	"etrain/internal/workload"
+)
+
+// ETime reimplements the eTime scheduler [16] from the paper's description:
+// a Lyapunov strategy that decides once per 60-second slot whether to drain
+// the whole backlog, transmitting when the estimated channel is good
+// relative to its average. The tradeoff parameter V balances energy against
+// delay (larger V defers longer); eTime is not deadline-aware. The paper
+// restricts its multi-interface selection to the cellular interface, as we
+// do here.
+type ETimeOptions struct {
+	// V is the fixed energy/performance tradeoff parameter.
+	V float64
+	// Slot is the decision period; the paper uses 60 s as suggested
+	// in [16].
+	Slot time.Duration
+}
+
+// ETime is the coarse-slotted channel-dependent comparator.
+type ETime struct {
+	opts ETimeOptions
+}
+
+var _ sched.Strategy = (*ETime)(nil)
+
+// NewETime returns an eTime instance.
+func NewETime(opts ETimeOptions) (*ETime, error) {
+	if opts.V < 0 {
+		return nil, fmt.Errorf("baseline: negative V %v", opts.V)
+	}
+	if opts.Slot == 0 {
+		opts.Slot = 60 * time.Second
+	}
+	return &ETime{opts: opts}, nil
+}
+
+// Name implements sched.Strategy.
+func (*ETime) Name() string { return "etime" }
+
+// SlotLength implements sched.Strategy.
+func (e *ETime) SlotLength() time.Duration { return e.opts.Slot }
+
+// Schedule implements sched.Strategy: drain everything when the V-weighted
+// backlog clears the channel-quality bar, otherwise hold. Backlog pressure
+// grows every slot, so the queue always drains eventually (Lyapunov
+// stability), but without deadline guarantees.
+func (e *ETime) Schedule(ctx *sched.SlotContext) []workload.Packet {
+	q := ctx.Queues
+	if q.Len() == 0 {
+		return nil
+	}
+	quality := 1.0
+	if ctx.EstimateBandwidth != nil && ctx.MeanBandwidth > 0 {
+		quality = ctx.EstimateBandwidth() / ctx.MeanBandwidth
+	}
+	// Pressure: queued packets weighted by how long they have waited, in
+	// slot units. One just-arrived packet exerts pressure ~1.
+	pressure := 0.0
+	q.Each(func(p workload.Packet) {
+		waited := (ctx.Now - p.ArrivedAt).Seconds() / ctx.SlotLength.Seconds()
+		pressure += 1 + waited
+	})
+	if pressure*quality >= e.opts.V {
+		return DrainAll(q)
+	}
+	return nil
+}

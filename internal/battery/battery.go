@@ -1,0 +1,69 @@
+// Package battery converts radio energy into the battery-impact figures
+// the paper quotes: §II-D computes that one app's heartbeats alone burn
+// "at least 6% of battery capacity" on a 1700 mAh, 3.7 V battery over a
+// 10-hour standby.
+package battery
+
+import (
+	"fmt"
+	"time"
+)
+
+// Battery describes a phone battery.
+type Battery struct {
+	// CapacityMAh is the rated capacity in milliamp-hours.
+	CapacityMAh float64
+	// Voltage is the nominal cell voltage.
+	Voltage float64
+}
+
+// GalaxyS4 returns the paper's reference battery: 1700 mAh at 3.7 V
+// (§II-D). (The retail S4 shipped with 2600 mAh; the paper's figure is
+// used for comparability.)
+func GalaxyS4() Battery {
+	return Battery{CapacityMAh: 1700, Voltage: 3.7}
+}
+
+// Validate reports whether the battery parameters are usable.
+func (b Battery) Validate() error {
+	if b.CapacityMAh <= 0 || b.Voltage <= 0 {
+		return fmt.Errorf("battery: non-positive capacity %v mAh / voltage %v V",
+			b.CapacityMAh, b.Voltage)
+	}
+	return nil
+}
+
+// CapacityJoules returns the battery's total energy: mAh → C × V.
+func (b Battery) CapacityJoules() float64 {
+	return b.CapacityMAh / 1000 * 3600 * b.Voltage
+}
+
+// DrainFraction returns the fraction of capacity a given energy represents.
+func (b Battery) DrainFraction(joules float64) float64 {
+	capacity := b.CapacityJoules()
+	if capacity <= 0 {
+		return 0
+	}
+	return joules / capacity
+}
+
+// StandbyLoss scales an energy measured over `measured` to the drain
+// fraction over a standby period — the §II-D computation ("if the battery
+// life is 10 hours, the smartphone will spend at least 6% of its battery
+// capacity on sending heartbeats of only one app").
+func (b Battery) StandbyLoss(joules float64, measured, standby time.Duration) float64 {
+	if measured <= 0 {
+		return 0
+	}
+	scaled := joules * standby.Seconds() / measured.Seconds()
+	return b.DrainFraction(scaled)
+}
+
+// StandbyHours estimates how long the battery lasts when drained at the
+// given average power (watts).
+func (b Battery) StandbyHours(watts float64) float64 {
+	if watts <= 0 {
+		return 0
+	}
+	return b.CapacityJoules() / watts / 3600
+}

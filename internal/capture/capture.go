@@ -1,0 +1,205 @@
+// Package capture implements the paper's traffic-analysis methodology
+// (§II-B): raw packet captures — timestamps and sizes, no app labels, as
+// Wireshark would record them — are classified offline into flows, and
+// heartbeat flows are identified by their telltale signature: small,
+// constant-size packets recurring at a regular (or doubling) cycle, no
+// matter how much data traffic is interleaved.
+package capture
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"etrain/internal/radio"
+)
+
+// Packet is one captured transmission: when it was sent and how large it
+// was. No application label — that is what classification recovers.
+type Packet struct {
+	// At is the capture timestamp.
+	At time.Duration
+	// Size is the payload in bytes.
+	Size int64
+}
+
+// FromTimeline strips a radio timeline down to an unlabeled capture.
+func FromTimeline(tl *radio.Timeline) []Packet {
+	txs := tl.Transmissions()
+	out := make([]Packet, len(txs))
+	for i, tx := range txs {
+		out[i] = Packet{At: tx.Start, Size: tx.Size}
+	}
+	return out
+}
+
+// FlowKind classifies a size-group of captured packets.
+type FlowKind int
+
+// Flow kinds.
+const (
+	// FlowHeartbeat is a fixed-cycle keep-alive flow.
+	FlowHeartbeat FlowKind = iota + 1
+	// FlowAdaptiveHeartbeat is a backoff keep-alive flow (NetEase-style:
+	// the cycle grows by doubling).
+	FlowAdaptiveHeartbeat
+	// FlowData is everything else.
+	FlowData
+)
+
+// String returns the kind name.
+func (k FlowKind) String() string {
+	switch k {
+	case FlowHeartbeat:
+		return "heartbeat"
+	case FlowAdaptiveHeartbeat:
+		return "adaptive-heartbeat"
+	case FlowData:
+		return "data"
+	default:
+		return fmt.Sprintf("capture.FlowKind(%d)", int(k))
+	}
+}
+
+// Flow is one classified size-group.
+type Flow struct {
+	// Size is the group's packet size (heartbeats are constant-size).
+	Size int64
+	// Count is the number of captured packets in the group.
+	Count int
+	// Kind is the classification.
+	Kind FlowKind
+	// Cycle is the detected heartbeat cycle (median gap) for
+	// FlowHeartbeat.
+	Cycle time.Duration
+	// CycleMin and CycleMax bound the gaps for FlowAdaptiveHeartbeat
+	// (the paper's "60-480s" style entries).
+	CycleMin, CycleMax time.Duration
+}
+
+// Options tunes the classifier.
+type Options struct {
+	// Tolerance is the jitter allowed around the median gap; default 3 s.
+	Tolerance time.Duration
+	// MinBeats is the minimum group size considered; default 4.
+	MinBeats int
+	// RegularFraction is the fraction of gaps that must sit within
+	// Tolerance of the median for a fixed cycle; default 0.7.
+	RegularFraction float64
+}
+
+func (o *Options) defaults() {
+	if o.Tolerance <= 0 {
+		o.Tolerance = 3 * time.Second
+	}
+	if o.MinBeats <= 0 {
+		o.MinBeats = 4
+	}
+	if o.RegularFraction <= 0 {
+		o.RegularFraction = 0.7
+	}
+}
+
+// Classify groups the capture by packet size and labels each group. Flows
+// are returned sorted by size.
+func Classify(packets []Packet, opts Options) []Flow {
+	opts.defaults()
+	groups := make(map[int64][]time.Duration)
+	for _, p := range packets {
+		groups[p.Size] = append(groups[p.Size], p.At)
+	}
+	sizes := make([]int64, 0, len(groups))
+	for size := range groups {
+		sizes = append(sizes, size)
+	}
+	sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+
+	flows := make([]Flow, 0, len(sizes))
+	for _, size := range sizes {
+		times := groups[size]
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		flows = append(flows, classifyGroup(size, times, opts))
+	}
+	return flows
+}
+
+// Heartbeats filters a classification down to its (fixed or adaptive)
+// heartbeat flows.
+func Heartbeats(flows []Flow) []Flow {
+	var out []Flow
+	for _, f := range flows {
+		if f.Kind == FlowHeartbeat || f.Kind == FlowAdaptiveHeartbeat {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func classifyGroup(size int64, times []time.Duration, opts Options) Flow {
+	flow := Flow{Size: size, Count: len(times), Kind: FlowData}
+	if len(times) < opts.MinBeats {
+		return flow
+	}
+	gaps := make([]time.Duration, 0, len(times)-1)
+	for i := 1; i < len(times); i++ {
+		gaps = append(gaps, times[i]-times[i-1])
+	}
+	sorted := make([]time.Duration, len(gaps))
+	copy(sorted, gaps)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	median := sorted[len(sorted)/2]
+	if median <= 0 {
+		return flow
+	}
+
+	within := 0
+	for _, g := range gaps {
+		diff := g - median
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff <= opts.Tolerance {
+			within++
+		}
+	}
+	if float64(within) >= opts.RegularFraction*float64(len(gaps)) {
+		flow.Kind = FlowHeartbeat
+		flow.Cycle = median
+		flow.CycleMin = sorted[0]
+		flow.CycleMax = sorted[len(sorted)-1]
+		return flow
+	}
+
+	// Doubling backoff: every gap is (within tolerance) the minimum gap
+	// times a power of two.
+	min := sorted[0]
+	if min > 0 && isDoubling(gaps, min, opts.Tolerance) {
+		flow.Kind = FlowAdaptiveHeartbeat
+		flow.CycleMin = min
+		flow.CycleMax = sorted[len(sorted)-1]
+		return flow
+	}
+	return flow
+}
+
+func isDoubling(gaps []time.Duration, base, tolerance time.Duration) bool {
+	for _, g := range gaps {
+		m := base
+		matched := false
+		for i := 0; i < 8; i++ {
+			diff := g - m
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff <= tolerance {
+				matched = true
+				break
+			}
+			m *= 2
+		}
+		if !matched {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"etrain/internal/profile"
+	"etrain/internal/sched"
+	"etrain/internal/workload"
+)
+
+// BenchmarkGreedySelectHeartbeatFlush measures one full Eq. 9 greedy flush
+// of a 100-packet, 3-app queue — the scheduler's hottest path.
+func BenchmarkGreedySelectHeartbeatFlush(b *testing.B) {
+	profiles := map[string]profile.Profile{
+		"mail":  profile.Mail(3 * time.Minute),
+		"weibo": profile.Weibo(90 * time.Second),
+		"cloud": profile.Cloud(5 * time.Minute),
+	}
+	apps := []string{"mail", "weibo", "cloud"}
+	e, err := New(Options{Theta: 0, K: KInfinite})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		q := sched.NewQueues()
+		for j := 0; j < 100; j++ {
+			app := apps[j%len(apps)]
+			q.Add(workload.Packet{
+				ID: j, App: app, ArrivedAt: time.Duration(j) * time.Second,
+				Size: 2048, Profile: profiles[app],
+			})
+		}
+		ctx := &sched.SlotContext{
+			Now: 200 * time.Second, SlotLength: time.Second,
+			HeartbeatNow: true, Queues: q,
+		}
+		b.StartTimer()
+		if got := e.Schedule(ctx); len(got) != 100 {
+			b.Fatalf("flushed %d", len(got))
+		}
+	}
+}
+
+// BenchmarkGreedySelectDrip measures the per-slot K(t)=1 selection on a
+// 50-packet queue.
+func BenchmarkGreedySelectDrip(b *testing.B) {
+	prof := profile.Weibo(90 * time.Second)
+	e, err := New(Options{Theta: 0.0001, K: KInfinite})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := sched.NewQueues()
+	for j := 0; j < 50; j++ {
+		q.Add(workload.Packet{
+			ID: j, App: "weibo", ArrivedAt: time.Duration(j) * time.Second,
+			Size: 2048, Profile: prof,
+		})
+	}
+	ctx := &sched.SlotContext{
+		Now: 200 * time.Second, SlotLength: time.Second, Queues: q,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		selected := e.Schedule(ctx)
+		b.StopTimer()
+		for _, p := range selected {
+			q.Add(p) // restore for the next iteration
+		}
+		b.StartTimer()
+	}
+}

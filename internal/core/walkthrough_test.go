@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"etrain/internal/profile"
+	"etrain/internal/sched"
+	"etrain/internal/workload"
+)
+
+// TestAlgorithmOneWalkthrough drives the scheduler through a known scenario
+// slot by slot and asserts every decision — a behavioural anchor for
+// Algorithm 1 against regressions.
+//
+// Scenario (weibo deadline 60 s, Θ = 0.5, k = ∞):
+//
+//	t=10s  packet A arrives
+//	t=20s  packet B arrives
+//	t=41s  P(t) = (31+21)/60 ≈ 0.87 crosses Θ → K=1 releases the costlier A
+//	t=42s  P(t) = 22/60 ≈ 0.37 < Θ → hold
+//	t=70s  heartbeat → flush releases B
+func TestAlgorithmOneWalkthrough(t *testing.T) {
+	e, err := New(Options{Theta: 0.5, K: KInfinite})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := profile.Weibo(60 * time.Second)
+	q := sched.NewQueues()
+	add := func(id int, at time.Duration) {
+		q.Add(workload.Packet{ID: id, App: "weibo", ArrivedAt: at, Size: 2048, Profile: prof})
+	}
+
+	step := func(now time.Duration, hb bool) []workload.Packet {
+		return e.Schedule(&sched.SlotContext{
+			Now: now, SlotLength: time.Second, HeartbeatNow: hb, Queues: q,
+		})
+	}
+
+	// t=11s: A just visible, cost 1/60 ≈ 0.017 < Θ → hold.
+	add(1, 10*time.Second)
+	if got := step(11*time.Second, false); len(got) != 0 {
+		t.Fatalf("t=11s released %d packets, want 0 (P<Θ)", len(got))
+	}
+
+	// t=21s: B visible too; P = (11+1)/60 = 0.2 < Θ → hold.
+	add(2, 20*time.Second)
+	if got := step(21*time.Second, false); len(got) != 0 {
+		t.Fatalf("t=21s released %d, want 0", len(got))
+	}
+
+	// t=40s: P = (30+20)/60 ≈ 0.83 ≥ Θ → K=1, the costlier (older) A goes.
+	got := step(40*time.Second, false)
+	if len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("t=40s released %v, want exactly packet 1", ids(got))
+	}
+
+	// t=41s: P = 21/60 = 0.35 < Θ → hold again.
+	if got := step(41*time.Second, false); len(got) != 0 {
+		t.Fatalf("t=41s released %d, want 0 (cost dropped below Θ)", len(got))
+	}
+
+	// t=70s: heartbeat flushes the rest regardless of Θ.
+	got = step(70*time.Second, true)
+	if len(got) != 1 || got[0].ID != 2 {
+		t.Fatalf("t=70s flushed %v, want packet 2", ids(got))
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not empty at the end: %d", q.Len())
+	}
+}
+
+func ids(packets []workload.Packet) []int {
+	out := make([]int, len(packets))
+	for i, p := range packets {
+		out[i] = p.ID
+	}
+	return out
+}

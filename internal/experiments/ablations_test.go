@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestAblationsRegistered(t *testing.T) {
+	abls := Ablations()
+	if len(abls) != 7 {
+		t.Fatalf("got %d ablations, want 7", len(abls))
+	}
+	for _, e := range abls {
+		if !strings.HasPrefix(e.ID, "abl-") {
+			t.Fatalf("ablation ID %q lacks abl- prefix", e.ID)
+		}
+		if e.Run == nil || e.Claim == "" {
+			t.Fatalf("ablation %s incomplete", e.ID)
+		}
+	}
+	if _, err := ByID("abl-offline-gap"); err != nil {
+		t.Fatalf("ByID does not resolve ablations: %v", err)
+	}
+}
+
+func TestAblOfflineGapBounded(t *testing.T) {
+	tbl, err := AblOfflineGap(Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8 instances", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		lower := parseF(t, row[3])
+		offline := parseF(t, row[4])
+		if offline < lower-1e-6 {
+			t.Fatalf("offline optimum %v below lower bound %v", offline, lower)
+		}
+		if row[5] == "infeasible" {
+			continue
+		}
+		online := parseF(t, row[5])
+		// The online heuristic can never beat the exact optimum.
+		if online < offline-1e-6 {
+			t.Fatalf("online %v beats offline optimum %v", online, offline)
+		}
+		// And must stay within a sane factor of it on these instances.
+		if online > offline*2 {
+			t.Fatalf("online %v more than 2x the optimum %v", online, offline)
+		}
+	}
+}
+
+func TestAblFastDormancyTradeoff(t *testing.T) {
+	tbl, err := AblFastDormancy(Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseTail := parseF(t, tbl.Rows[0][1])
+	baseFD := parseF(t, tbl.Rows[1][1])
+	et := parseF(t, tbl.Rows[2][1])
+	if baseFD >= baseTail {
+		t.Fatalf("fast dormancy saved nothing: %v vs %v", baseFD, baseTail)
+	}
+	if et >= baseTail {
+		t.Fatalf("eTrain saved nothing: %v vs %v", et, baseTail)
+	}
+	// Fast dormancy's price: one promotion per transmission.
+	if promos := parseF(t, tbl.Rows[1][3]); promos <= 0 {
+		t.Fatal("fast dormancy reported no promotions")
+	}
+	if parseF(t, tbl.Rows[0][3]) != 0 || parseF(t, tbl.Rows[2][3]) != 0 {
+		t.Fatal("standard-tail rows must report zero promotions")
+	}
+}
+
+func TestAblGreedyPolicyRows(t *testing.T) {
+	tbl, err := AblGreedyPolicy(Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 policies", len(tbl.Rows))
+	}
+	// All policies conserve packets, so all energies are in a sane band.
+	for _, row := range tbl.Rows {
+		e := parseF(t, row[1])
+		if e < 500 || e > 4000 {
+			t.Fatalf("policy %s energy %v out of band", row[0], e)
+		}
+	}
+}
+
+func TestAblChannelOracleNoisyMatchesOracle(t *testing.T) {
+	tbl, err := AblChannelOracle(Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var noisy, oracle float64
+	for _, row := range tbl.Rows {
+		switch {
+		case strings.Contains(row[0], "noisy"):
+			noisy = parseF(t, row[1])
+		case strings.Contains(row[0], "oracle"):
+			oracle = parseF(t, row[1])
+		}
+	}
+	if noisy == 0 || oracle == 0 {
+		t.Fatalf("missing variants in %v", tbl.Rows)
+	}
+	// The channel-obliviousness argument: accurate channel knowledge adds
+	// little over a noisy estimate.
+	if diff := noisy - oracle; diff > 0.1*oracle {
+		t.Fatalf("oracle knowledge worth %.0f J (>10%%), contradicting the ablation's claim", diff)
+	}
+}
+
+func TestAblRadioTechAbsoluteSavings(t *testing.T) {
+	tbl, err := AblRadioTech(Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 radios", len(tbl.Rows))
+	}
+	saved := map[string]float64{}
+	for _, row := range tbl.Rows {
+		saved[row[0]] = parseF(t, row[4])
+	}
+	lte := saved["LTE"]
+	threeG := saved["3G (Galaxy S4)"]
+	wifi := saved["WiFi"]
+	if !(lte > threeG && threeG > wifi) {
+		t.Fatalf("absolute savings not ordered LTE > 3G > WiFi: %v", saved)
+	}
+	// WiFi leaves only tens of joules on the table.
+	if wifi > 0.1*threeG {
+		t.Fatalf("WiFi saving %v J suspiciously close to cellular %v J", wifi, threeG)
+	}
+}
+
+func TestSeedRobustnessOrderingHolds(t *testing.T) {
+	tbl, err := SeedRobustness(Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 strategies", len(tbl.Rows))
+	}
+	// The note records in how many seeds the full ordering held.
+	var held, total int
+	found := false
+	for _, n := range tbl.Notes {
+		if _, err := fmt.Sscanf(n, "paper ordering eTrain < eTime < PerES < baseline held in %d of %d seeds", &held, &total); err == nil {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("ordering note missing: %v", tbl.Notes)
+	}
+	if held < total-1 {
+		t.Fatalf("ordering held in only %d of %d seeds", held, total)
+	}
+}
+
+func TestAblPredictiveMonitorDegradesWithJitter(t *testing.T) {
+	tbl, err := AblPredictiveMonitor(Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 jitter levels", len(tbl.Rows))
+	}
+	// At zero jitter prediction matches the hook.
+	if h, p := parseF(t, tbl.Rows[0][1]), parseF(t, tbl.Rows[0][2]); h != p {
+		t.Fatalf("zero jitter: hooked %v != predicted %v", h, p)
+	}
+	// At the largest jitter the predictive monitor pays a clear penalty.
+	lastHooked := parseF(t, tbl.Rows[3][1])
+	lastPredicted := parseF(t, tbl.Rows[3][2])
+	if lastPredicted <= lastHooked*1.05 {
+		t.Fatalf("prediction under 15s jitter (%.0f J) not clearly worse than hook (%.0f J)",
+			lastPredicted, lastHooked)
+	}
+}

@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"etrain/internal/battery"
+	"etrain/internal/capture"
+	"etrain/internal/heartbeat"
+	"etrain/internal/radio"
+	"etrain/internal/randx"
+)
+
+// standbyBasePower is the non-radio standby drain of the test phone
+// (screen off, background tasks killed): the paper's Fig. 1a implies
+// ≈300 J over 4 h beside the 2000 J of heartbeat radio energy, i.e.
+// ≈20 mW; see DESIGN.md.
+const standbyBasePower = 0.020
+
+// Fig1a reproduces the standby-energy measurement: total energy of a
+// 4-hour screen-off period with 0–3 IM apps running on 3G, and the share
+// spent on heartbeats. The paper reports ≈2000 J (≈87%) with all three
+// apps.
+func Fig1a(opts Options) (*Table, error) {
+	horizon := opts.horizonOr(4 * time.Hour)
+	model := radio.GalaxyS43G()
+	trio := heartbeat.DefaultTrio()
+	cell := battery.GalaxyS4()
+	tbl := &Table{
+		ID:    "fig1a",
+		Title: "Standby energy over 4h vs number of active IM apps (3G)",
+		Columns: []string{"apps", "heartbeats", "radio_J", "base_J", "total_J",
+			"heartbeat_share", "battery_per_10h"},
+	}
+	for n := 0; n <= len(trio); n++ {
+		apps := trio[:n]
+		var tl radio.Timeline
+		for _, b := range heartbeat.Merge(apps, horizon) {
+			// Heartbeats are tiny; their serialization never overlaps at
+			// these cycles, so a nominal 100 ms transmission is used.
+			if err := tl.Append(radio.Transmission{
+				Start: b.At, TxTime: 100 * time.Millisecond, Size: b.Size,
+				Kind: radio.TxHeartbeat, App: b.App,
+			}); err != nil {
+				return nil, err
+			}
+		}
+		radioJ := tl.AccountEnergy(model, horizon).Total()
+		baseJ := standbyBasePower * horizon.Seconds()
+		totalJ := radioJ + baseJ
+		share := 0.0
+		if totalJ > 0 {
+			share = radioJ / totalJ
+		}
+		label := "none"
+		if n > 0 {
+			label = fmt.Sprintf("%d", n)
+		}
+		drain := cell.StandbyLoss(radioJ, horizon, 10*time.Hour)
+		tbl.AddRow(label, tl.Len(), radioJ, baseJ, totalJ,
+			fmt.Sprintf("%.0f%%", share*100), fmt.Sprintf("%.1f%%", drain*100))
+	}
+	tbl.AddNote("paper: ~2000 J and ~87%% heartbeat share with 3 apps over 4 h in 3G; §II-D: one app's heartbeats burn ~6%% of a 1700 mAh battery per 10 h standby")
+	return tbl, nil
+}
+
+// Fig1b reproduces the heartbeat size/timing plot: the merged heartbeat
+// stream of the three IM apps over one hour, showing roughly one beat per
+// minute.
+func Fig1b(opts Options) (*Table, error) {
+	horizon := opts.horizonOr(time.Hour)
+	beats := heartbeat.Merge(heartbeat.DefaultTrio(), horizon)
+	tbl := &Table{
+		ID:      "fig1b",
+		Title:   "Heartbeat timing and size of 3 IM apps running simultaneously",
+		Columns: []string{"time_s", "app", "size_B"},
+	}
+	for _, b := range beats {
+		tbl.AddRow(fmt.Sprintf("%.0f", b.At.Seconds()), b.App, b.Size)
+	}
+	if len(beats) > 1 {
+		mean := (beats[len(beats)-1].At - beats[0].At) / time.Duration(len(beats)-1)
+		tbl.AddNote("mean inter-heartbeat gap %.0f s (paper: about once a minute)", mean.Seconds())
+	}
+	return tbl, nil
+}
+
+// Table1 reproduces the heartbeat-cycle table: run the cycle detector over
+// each app's generated traffic, per platform.
+func Table1(opts Options) (*Table, error) {
+	horizon := opts.horizonOr(4 * time.Hour)
+	tbl := &Table{
+		ID:      "table1",
+		Title:   "Heartbeat cycles of mobile applications",
+		Columns: []string{"platform", "app", "detected_cycle", "stable"},
+	}
+	androidApps := []heartbeat.TrainApp{
+		heartbeat.WeChat(), heartbeat.WhatsApp(), heartbeat.QQ(),
+		heartbeat.RenRen(), heartbeat.NetEase(),
+	}
+	for _, app := range androidApps {
+		det := heartbeat.NewDetector(2 * time.Second)
+		for _, b := range app.Schedule(horizon) {
+			det.Observe(b.App, b.At)
+		}
+		if det.Stable(app.Name) {
+			cycle, _ := det.Cycle(app.Name)
+			tbl.AddRow("android", app.Name, fmt.Sprintf("%.0fs", cycle.Seconds()), true)
+			continue
+		}
+		min, max, ok := det.CycleRange(app.Name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: no cycle range for %s", app.Name)
+		}
+		tbl.AddRow("android", app.Name,
+			fmt.Sprintf("%.0f-%.0fs", min.Seconds(), max.Seconds()), false)
+	}
+	// iOS: every app funnels through APNS with one shared 1800 s cycle.
+	apns := heartbeat.APNS()
+	det := heartbeat.NewDetector(2 * time.Second)
+	for _, b := range apns.Schedule(horizon) {
+		det.Observe("all apps (APNS)", b.At)
+	}
+	cycle, ok := det.Cycle("all apps (APNS)")
+	if !ok {
+		return nil, fmt.Errorf("experiments: APNS cycle not detected")
+	}
+	tbl.AddRow("ios", "all apps (APNS)", fmt.Sprintf("%.0fs", cycle.Seconds()), true)
+
+	// Blind cross-check, the way the paper actually worked: strip all app
+	// labels (a raw Wireshark capture of timestamps and sizes, with data
+	// traffic interleaved) and recover the same cycles by classification.
+	blind := blindCapture(opts.Seed, androidApps, horizon)
+	recovered := capture.Heartbeats(capture.Classify(blind, capture.Options{}))
+	for _, f := range recovered {
+		switch f.Kind {
+		case capture.FlowHeartbeat:
+			tbl.AddRow("android(blind)", fmt.Sprintf("%dB flow", f.Size),
+				fmt.Sprintf("%.0fs", f.Cycle.Seconds()), true)
+		case capture.FlowAdaptiveHeartbeat:
+			tbl.AddRow("android(blind)", fmt.Sprintf("%dB flow", f.Size),
+				fmt.Sprintf("%.0f-%.0fs", f.CycleMin.Seconds(), f.CycleMax.Seconds()), false)
+		}
+	}
+	tbl.AddNote("blind rows: cycles recovered from an unlabeled capture (sizes + timestamps only) with random data traffic interleaved, as in §II-B's Wireshark analysis")
+	tbl.AddNote("paper Table 1: WeChat 270s, WhatsApp 240s, QQ 300s, RenRen 300s, NetEase 60-480s, iOS 1800s")
+	return tbl, nil
+}
+
+// blindCapture mixes the apps' heartbeats with random data transmissions
+// and strips the labels.
+func blindCapture(seed int64, apps []heartbeat.TrainApp, horizon time.Duration) []capture.Packet {
+	var packets []capture.Packet
+	for _, b := range heartbeat.Merge(apps, horizon) {
+		packets = append(packets, capture.Packet{At: b.At, Size: b.Size})
+	}
+	src := randx.New(seed + 41)
+	for at := time.Duration(0); at < horizon; at += time.Duration(30+src.Intn(90)) * time.Second {
+		packets = append(packets, capture.Packet{
+			At: at, Size: int64(1000 + src.Intn(100000)),
+		})
+	}
+	return packets
+}
+
+// Fig3 reproduces the per-app heartbeat-cycle plots, focusing on the two
+// non-trivial ones: NetEase's doubling schedule and RenRen's constant
+// cycle.
+func Fig3(opts Options) (*Table, error) {
+	horizon := opts.horizonOr(2 * time.Hour)
+	tbl := &Table{
+		ID:      "fig3",
+		Title:   "Heartbeat cycles: NetEase doubling schedule vs RenRen constant",
+		Columns: []string{"app", "beat", "time_s", "gap_s"},
+	}
+	for _, app := range []heartbeat.TrainApp{heartbeat.NetEase(), heartbeat.RenRen()} {
+		beats := app.Schedule(horizon)
+		for i, b := range beats {
+			gap := "-"
+			if i > 0 {
+				gap = fmt.Sprintf("%.0f", (b.At - beats[i-1].At).Seconds())
+			}
+			tbl.AddRow(app.Name, i, fmt.Sprintf("%.0f", b.At.Seconds()), gap)
+		}
+	}
+	tbl.AddNote("paper Fig. 3d: NetEase starts at 60s and doubles after every 6 beats up to 480s; RenRen constant 300s")
+	return tbl, nil
+}
+
+// Fig4 reproduces the power-state plot of a single transmission: the
+// instantaneous power level through IDLE → DCH(tx) → DCH tail → FACH →
+// IDLE.
+func Fig4(opts Options) (*Table, error) {
+	model := radio.GalaxyS43G()
+	var tl radio.Timeline
+	if err := tl.Append(radio.Transmission{
+		Start: 5 * time.Second, TxTime: 2 * time.Second, Size: 10 * 1024,
+		Kind: radio.TxData, App: "probe",
+	}); err != nil {
+		return nil, err
+	}
+	tbl := &Table{
+		ID:      "fig4",
+		Title:   "Instantaneous power level at different power states (one transmission)",
+		Columns: []string{"time_s", "state", "power_mW"},
+	}
+	horizon := opts.horizonOr(30 * time.Second)
+	prevState := radio.State(0)
+	for _, s := range tl.PowerTrace(model, horizon, 500*time.Millisecond) {
+		if s.State != prevState {
+			tbl.AddRow(fmt.Sprintf("%.1f", s.At.Seconds()), s.State.String(),
+				fmt.Sprintf("%.0f", s.Watts*1000))
+			prevState = s.State
+		}
+	}
+	tbl.AddNote("paper Fig. 4: DCH %.0f mW for δD=%.1fs, FACH %.0f mW for δF=%.1fs, then IDLE",
+		model.PD*1000, model.DeltaD.Seconds(), model.PF*1000, model.DeltaF.Seconds())
+	return tbl, nil
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"etrain/internal/baseline"
+	"etrain/internal/core"
+	"etrain/internal/sched"
+	"etrain/internal/sim"
+	"etrain/internal/stats"
+)
+
+// SeedRobustness re-runs the headline comparison across several seeds and
+// reports mean ± stddev of each strategy's energy at fixed control
+// parameters, plus how often the paper's ordering (eTrain < eTime < PerES <
+// baseline) held. It is the reproduction's answer to "is this one lucky
+// seed?".
+func SeedRobustness(opts Options) (*Table, error) {
+	const seeds = 5
+	tbl := &Table{
+		ID:      "abl-seed-robustness",
+		Title:   fmt.Sprintf("Headline comparison across %d seeds (λ=0.08)", seeds),
+		Columns: []string{"strategy", "control", "mean_J", "stddev_J", "min_J", "max_J"},
+	}
+	type config struct {
+		name    string
+		control string
+		build   func() (sched.Strategy, error)
+	}
+	configs := []config{
+		{"etrain", "Θ=10", func() (sched.Strategy, error) {
+			return core.New(core.Options{Theta: 10, K: core.KInfinite})
+		}},
+		{"etime", "V=10", func() (sched.Strategy, error) {
+			return baseline.NewETime(baseline.ETimeOptions{V: 10})
+		}},
+		{"peres", "Ω=1", func() (sched.Strategy, error) {
+			return baseline.NewPerES(baseline.DefaultPerESOptions(1))
+		}},
+		{"baseline", "-", func() (sched.Strategy, error) {
+			return baseline.NewImmediate(), nil
+		}},
+	}
+
+	energies := make(map[string][]float64, len(configs))
+	for s := 0; s < seeds; s++ {
+		for _, c := range configs {
+			cfg, err := buildSimConfig(Options{Seed: opts.Seed + int64(s)}, 0.08)
+			if err != nil {
+				return nil, err
+			}
+			strategy, err := c.build()
+			if err != nil {
+				return nil, err
+			}
+			cfg.Strategy = strategy
+			res, err := sim.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			energies[c.name] = append(energies[c.name], res.Energy.Total())
+		}
+	}
+
+	for _, c := range configs {
+		summary, err := stats.Summarize(energies[c.name])
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(c.name, c.control, summary.Mean, summary.StdDev, summary.Min, summary.Max)
+	}
+
+	ordered := 0
+	for s := 0; s < seeds; s++ {
+		if energies["etrain"][s] < energies["etime"][s] &&
+			energies["etime"][s] < energies["peres"][s] &&
+			energies["peres"][s] < energies["baseline"][s] {
+			ordered++
+		}
+	}
+	tbl.AddNote("paper ordering eTrain < eTime < PerES < baseline held in %d of %d seeds", ordered, seeds)
+	return tbl, nil
+}

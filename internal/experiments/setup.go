@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"time"
+
+	"etrain/internal/bandwidth"
+	"etrain/internal/heartbeat"
+	"etrain/internal/profile"
+	"etrain/internal/radio"
+	"etrain/internal/randx"
+	"etrain/internal/sim"
+	"etrain/internal/workload"
+)
+
+// constantTrace returns a flat bandwidth trace (bytes/second).
+func constantTrace(bytesPerSecond float64, duration time.Duration) (*bandwidth.Trace, error) {
+	return bandwidth.Constant(bytesPerSecond, duration)
+}
+
+// perfectEstimator returns a zero-lag, zero-noise channel estimator over
+// the config's trace — the oracle the paper's future work would need.
+func perfectEstimator(cfg sim.Config) *bandwidth.Estimator {
+	return bandwidth.NewEstimator(cfg.Bandwidth, randx.New(0), 0, 0)
+}
+
+// defaultProfileTriple returns the f1/f2/f3 profiles sharing one deadline,
+// in mail/weibo/cloud order.
+func defaultProfileTriple(deadline time.Duration) []profile.Profile {
+	return []profile.Profile{
+		profile.Mail(deadline),
+		profile.Weibo(deadline),
+		profile.Cloud(deadline),
+	}
+}
+
+// Options configures an experiment run.
+type Options struct {
+	// Seed drives all randomness; equal seeds reproduce exactly.
+	Seed int64
+	// Horizon overrides the experiment's default simulated span.
+	Horizon time.Duration
+}
+
+func (o Options) horizonOr(def time.Duration) time.Duration {
+	if o.Horizon > 0 {
+		return o.Horizon
+	}
+	return def
+}
+
+// paperHorizon is the 2-hour span of the paper's simulations (the length of
+// its bandwidth trace).
+const paperHorizon = 7200 * time.Second
+
+// estimatorNoise is the relative error of the channel estimate fed to
+// PerES/eTime; see DESIGN.md.
+const estimatorNoise = 0.3
+
+// buildSimConfig assembles the paper's default simulation (§VI-A): the
+// QQ/WeChat/WhatsApp trio, cargo at the given λ, a synthetic 2-hour
+// bandwidth trace and the Galaxy S4 radio. The strategy is left unset.
+func buildSimConfig(opts Options, lambda float64) (sim.Config, error) {
+	src := randx.New(opts.Seed)
+	horizon := opts.horizonOr(paperHorizon)
+	bw, err := bandwidth.Synthesize(src.Split(), horizon, nil)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	specs, err := workload.SpecsForLambda(lambda)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	packets, err := workload.Generate(src.Split(), specs, horizon)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	cfg := sim.Config{
+		Horizon:   horizon,
+		Trains:    heartbeat.DefaultTrio(),
+		Packets:   packets,
+		Bandwidth: bw,
+		Power:     radio.GalaxyS43G(),
+	}
+	cfg.Estimator = bandwidth.NewEstimator(bw, src.Split(), time.Second, estimatorNoise)
+	return cfg, nil
+}

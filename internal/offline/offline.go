@@ -1,0 +1,280 @@
+// Package offline implements the paper's offline optimization framework
+// (§III): given perfect knowledge of packet arrivals and train departure
+// times, find the transmission schedule S = {t_s(u)} minimizing total tail
+// energy subject to causality (2), serialization (3), a total delay-cost
+// budget (4) and the fixed train timetable (5).
+//
+// The paper observes the problem generalizes Knapsack and is NP-hard, and
+// therefore designs the online strategy of §IV. This package provides the
+// counterpart the paper reasons against: an exact branch-and-bound solver
+// for small instances, plus a lower bound, used to measure the online
+// algorithm's optimality gap.
+//
+// The solver restricts each packet's candidate transmission instants to
+// "event points" — its arrival, each train departure inside its waiting
+// window, and its deadline. For the piecewise-linear tail-energy objective
+// an optimal schedule can always be shifted so every transmission starts at
+// an event point or back-to-back with another transmission (which the
+// serialized evaluation produces automatically), so the restriction
+// preserves optimality up to the window bound.
+package offline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"etrain/internal/heartbeat"
+	"etrain/internal/radio"
+	"etrain/internal/workload"
+)
+
+// Instance is one offline scheduling problem.
+type Instance struct {
+	// Beats is the train timetable H (sorted by time).
+	Beats []heartbeat.Beat
+	// Packets are the data packets U with arrivals and profiles.
+	Packets []workload.Packet
+	// Power is the radio energy model.
+	Power radio.PowerModel
+	// Horizon bounds the schedule; every transmission must start before it.
+	Horizon time.Duration
+	// CostBudget is the total delay-cost budget Θ of constraint (4);
+	// 0 means unbounded.
+	CostBudget float64
+	// MaxWait bounds each packet's waiting window (candidate pruning);
+	// defaults to 10 minutes.
+	MaxWait time.Duration
+	// Bandwidth is the constant link rate in bytes/second used for
+	// transmission durations; defaults to 200 KB/s.
+	Bandwidth float64
+	// MaxPackets caps the instance size accepted by Solve; defaults to 12.
+	MaxPackets int
+}
+
+func (inst *Instance) defaults() {
+	if inst.MaxWait <= 0 {
+		inst.MaxWait = 10 * time.Minute
+	}
+	if inst.Bandwidth <= 0 {
+		inst.Bandwidth = 200e3
+	}
+	if inst.MaxPackets <= 0 {
+		inst.MaxPackets = 12
+	}
+}
+
+// Schedule is a feasible solution.
+type Schedule struct {
+	// Times maps packet ID to its scheduled (requested) start; the
+	// serialized start may be later if the link is busy.
+	Times map[int]time.Duration
+	// EnergyJoules is the total energy of the serialized timeline.
+	EnergyJoules float64
+	// TotalCost is Σ φ_u(t_s(u) − t_a(u)) over all packets.
+	TotalCost float64
+}
+
+// Validate reports structural problems with the instance.
+func (inst Instance) Validate() error {
+	if inst.Horizon <= 0 {
+		return fmt.Errorf("offline: non-positive horizon")
+	}
+	if err := inst.Power.Validate(); err != nil {
+		return err
+	}
+	for i := 1; i < len(inst.Beats); i++ {
+		if inst.Beats[i].At < inst.Beats[i-1].At {
+			return fmt.Errorf("offline: beats not sorted at %d", i)
+		}
+	}
+	for i, p := range inst.Packets {
+		if p.Profile == nil {
+			return fmt.Errorf("offline: packet %d has no profile", i)
+		}
+		if p.ArrivedAt < 0 || p.ArrivedAt >= inst.Horizon {
+			return fmt.Errorf("offline: packet %d arrives at %v outside horizon", i, p.ArrivedAt)
+		}
+	}
+	return nil
+}
+
+// candidates returns the packet's candidate transmission instants.
+func (inst Instance) candidates(p workload.Packet) []time.Duration {
+	set := map[time.Duration]bool{p.ArrivedAt: true}
+	windowEnd := p.ArrivedAt + inst.MaxWait
+	if windowEnd > inst.Horizon {
+		windowEnd = inst.Horizon
+	}
+	for _, b := range inst.Beats {
+		if b.At >= p.ArrivedAt && b.At < windowEnd {
+			set[b.At] = true
+		}
+	}
+	if dl := p.ArrivedAt + p.Profile.Deadline(); dl < windowEnd {
+		set[dl] = true
+	}
+	out := make([]time.Duration, 0, len(set))
+	for at := range set {
+		out = append(out, at)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Evaluate computes the serialized energy and total delay cost of an
+// assignment of requested start times (by packet index into
+// inst.Packets).
+func (inst Instance) Evaluate(starts []time.Duration) (energy, cost float64, err error) {
+	inst.defaults()
+	if len(starts) != len(inst.Packets) {
+		return 0, 0, fmt.Errorf("offline: %d starts for %d packets", len(starts), len(inst.Packets))
+	}
+	type event struct {
+		at   time.Duration
+		size int64
+		kind radio.TxKind
+		pkt  int // index into inst.Packets, -1 for beats
+	}
+	events := make([]event, 0, len(inst.Beats)+len(starts))
+	for _, b := range inst.Beats {
+		events = append(events, event{at: b.At, size: b.Size, kind: radio.TxHeartbeat, pkt: -1})
+	}
+	for i, at := range starts {
+		events = append(events, event{at: at, size: inst.Packets[i].Size, kind: radio.TxData, pkt: i})
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].at != events[j].at {
+			return events[i].at < events[j].at
+		}
+		return events[i].kind == radio.TxHeartbeat && events[j].kind != radio.TxHeartbeat
+	})
+	var tl radio.Timeline
+	busyUntil := time.Duration(0)
+	for _, ev := range events {
+		start := ev.at
+		if busyUntil > start {
+			start = busyUntil
+		}
+		txTime := time.Duration(float64(ev.size) / inst.Bandwidth * float64(time.Second))
+		if err := tl.Append(radio.Transmission{
+			Start: start, TxTime: txTime, Size: ev.size, Kind: ev.kind,
+		}); err != nil {
+			return 0, 0, err
+		}
+		busyUntil = start + txTime
+		if ev.pkt >= 0 {
+			p := inst.Packets[ev.pkt]
+			cost += p.Cost(start)
+		}
+	}
+	energy = tl.AccountEnergy(inst.Power, inst.Horizon+inst.Power.TailTime()).Total()
+	return energy, cost, nil
+}
+
+// LowerBound returns an energy value no feasible schedule can beat: the
+// beats-only energy. Adding data transmissions can only raise the radio's
+// instantaneous power pointwise — every instant that is DCH/FACH in the
+// beats-only run stays at least as hot once more transmissions (each
+// followed by its own full tail) are inserted, and transmission time is
+// charged at the DCH rate. Note the bound does NOT add the packets'
+// transmit energy on top: a transmission inside an existing tail displaces
+// tail time at the same power, so that energy is not additive.
+func LowerBound(inst Instance) (float64, error) {
+	inst.defaults()
+	if err := inst.Validate(); err != nil {
+		return 0, err
+	}
+	var tl radio.Timeline
+	busyUntil := time.Duration(0)
+	for _, b := range inst.Beats {
+		start := b.At
+		if busyUntil > start {
+			start = busyUntil
+		}
+		txTime := time.Duration(float64(b.Size) / inst.Bandwidth * float64(time.Second))
+		if err := tl.Append(radio.Transmission{
+			Start: start, TxTime: txTime, Size: b.Size, Kind: radio.TxHeartbeat,
+		}); err != nil {
+			return 0, err
+		}
+		busyUntil = start + txTime
+	}
+	return tl.AccountEnergy(inst.Power, inst.Horizon+inst.Power.TailTime()).Total(), nil
+}
+
+// Solve finds the minimum-energy schedule over the candidate event points
+// by depth-first branch and bound. Instances are capped at MaxPackets
+// packets (the problem is NP-hard; this is the exact reference the online
+// algorithm is measured against, not a production path).
+func Solve(inst Instance) (*Schedule, error) {
+	inst.defaults()
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	if len(inst.Packets) > inst.MaxPackets {
+		return nil, fmt.Errorf("offline: %d packets exceed the exact solver's cap of %d",
+			len(inst.Packets), inst.MaxPackets)
+	}
+
+	candidates := make([][]time.Duration, len(inst.Packets))
+	for i, p := range inst.Packets {
+		candidates[i] = inst.candidates(p)
+	}
+
+	budget := inst.CostBudget
+	if budget <= 0 {
+		budget = math.Inf(1)
+	}
+
+	starts := make([]time.Duration, len(inst.Packets))
+	best := &Schedule{EnergyJoules: math.Inf(1)}
+
+	lower, err := LowerBound(inst)
+	if err != nil {
+		return nil, err
+	}
+
+	var dfs func(i int, partialCost float64) error
+	dfs = func(i int, partialCost float64) error {
+		if i == len(inst.Packets) {
+			energy, cost, err := inst.Evaluate(starts)
+			if err != nil {
+				return err
+			}
+			if cost <= budget+1e-9 && energy < best.EnergyJoules {
+				times := make(map[int]time.Duration, len(starts))
+				for j, at := range starts {
+					times[inst.Packets[j].ID] = at
+				}
+				best = &Schedule{Times: times, EnergyJoules: energy, TotalCost: cost}
+				// Optimal found if we ever hit the lower bound.
+			}
+			return nil
+		}
+		for _, at := range candidates[i] {
+			// Requested-time cost is a lower bound on the serialized cost,
+			// so pruning on it is safe.
+			c := inst.Packets[i].Cost(at)
+			if partialCost+c > budget+1e-9 {
+				continue
+			}
+			starts[i] = at
+			if err := dfs(i+1, partialCost+c); err != nil {
+				return err
+			}
+			if best.EnergyJoules <= lower+1e-9 {
+				return nil // cannot improve further
+			}
+		}
+		return nil
+	}
+	if err := dfs(0, 0); err != nil {
+		return nil, err
+	}
+	if math.IsInf(best.EnergyJoules, 1) {
+		return nil, fmt.Errorf("offline: no feasible schedule within cost budget %.3f", inst.CostBudget)
+	}
+	return best, nil
+}

@@ -1,0 +1,108 @@
+// Package powermon simulates the measurement rig of the paper's controlled
+// experiments (§VI-D, Fig. 9): a Monsoon-style power monitor supplying the
+// phone at a constant 3.7 V and sampling its current draw every 0.1 s; the
+// energy consumption is then integrated offline from the current trace.
+//
+// Here the "phone" is the simulated radio timeline: the monitor samples the
+// model's instantaneous power, converts it to current at the supply
+// voltage, and integrates exactly the way the paper's power tool does.
+package powermon
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"etrain/internal/radio"
+)
+
+// DefaultVoltage is the paper's constant supply voltage (3.7 V).
+const DefaultVoltage = 3.7
+
+// DefaultStep is the paper's sampling period (0.1 s).
+const DefaultStep = 100 * time.Millisecond
+
+// Sample is one current/power reading.
+type Sample struct {
+	// At is the sample instant.
+	At time.Duration
+	// CurrentA is the measured current in amperes at the supply voltage.
+	CurrentA float64
+	// PowerW is the instantaneous power in watts (above IDLE baseline).
+	PowerW float64
+	// State is the radio state at the instant.
+	State radio.State
+}
+
+// Monitor is the measurement configuration.
+type Monitor struct {
+	// Voltage is the constant supply voltage; DefaultVoltage if zero.
+	Voltage float64
+	// Step is the sampling period; DefaultStep if zero.
+	Step time.Duration
+}
+
+func (m Monitor) voltage() float64 {
+	if m.Voltage <= 0 {
+		return DefaultVoltage
+	}
+	return m.Voltage
+}
+
+func (m Monitor) step() time.Duration {
+	if m.Step <= 0 {
+		return DefaultStep
+	}
+	return m.Step
+}
+
+// Capture samples the timeline's power draw from 0 to horizon.
+func (m Monitor) Capture(tl *radio.Timeline, pm radio.PowerModel, horizon time.Duration) []Sample {
+	raw := tl.PowerTrace(pm, horizon, m.step())
+	out := make([]Sample, len(raw))
+	v := m.voltage()
+	for i, s := range raw {
+		out[i] = Sample{
+			At:       s.At,
+			CurrentA: s.Watts / v,
+			PowerW:   s.Watts,
+			State:    s.State,
+		}
+	}
+	return out
+}
+
+// Energy integrates a capture into joules, the way the paper's power tool
+// computes energy from the current trace: E = Σ V·I·Δt.
+func (m Monitor) Energy(samples []Sample) float64 {
+	dt := m.step().Seconds()
+	v := m.voltage()
+	total := 0.0
+	for _, s := range samples {
+		total += v * s.CurrentA * dt
+	}
+	return total
+}
+
+// WriteCSV exports a capture as time_s,current_a,power_w,state rows.
+func WriteCSV(w io.Writer, samples []Sample) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_s", "current_a", "power_w", "state"}); err != nil {
+		return fmt.Errorf("powermon: write header: %w", err)
+	}
+	for _, s := range samples {
+		rec := []string{
+			strconv.FormatFloat(s.At.Seconds(), 'f', 3, 64),
+			strconv.FormatFloat(s.CurrentA, 'f', 6, 64),
+			strconv.FormatFloat(s.PowerW, 'f', 4, 64),
+			s.State.String(),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("powermon: write sample: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,100 @@
+package powermon
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"etrain/internal/radio"
+)
+
+func timelineWithOneTx(t *testing.T) *radio.Timeline {
+	t.Helper()
+	tl := &radio.Timeline{}
+	err := tl.Append(radio.Transmission{
+		Start: 5 * time.Second, TxTime: 2 * time.Second, Size: 1000, Kind: radio.TxData, App: "x",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tl
+}
+
+func TestCaptureCurrentConversion(t *testing.T) {
+	tl := timelineWithOneTx(t)
+	m := Monitor{}
+	samples := m.Capture(tl, radio.GalaxyS43G(), 30*time.Second)
+	if len(samples) != 300 {
+		t.Fatalf("got %d samples, want 300 (0.1s over 30s)", len(samples))
+	}
+	// During transmission (t=6s): power 0.7 W -> current 0.7/3.7 A.
+	idx := int(6 * time.Second / DefaultStep)
+	s := samples[idx]
+	if s.State != radio.StateTransmitting {
+		t.Fatalf("state at 6s = %v, want transmitting", s.State)
+	}
+	wantI := 0.7 / 3.7
+	if math.Abs(s.CurrentA-wantI) > 1e-9 {
+		t.Fatalf("current = %v, want %v", s.CurrentA, wantI)
+	}
+	// Before transmission: idle, zero extra current.
+	if samples[0].CurrentA != 0 {
+		t.Fatalf("idle current = %v, want 0", samples[0].CurrentA)
+	}
+}
+
+func TestEnergyMatchesRadioAccounting(t *testing.T) {
+	tl := timelineWithOneTx(t)
+	pm := radio.GalaxyS43G()
+	m := Monitor{Step: 10 * time.Millisecond}
+	horizon := time.Minute
+	samples := m.Capture(tl, pm, horizon)
+	got := m.Energy(samples)
+	want := tl.AccountEnergy(pm, horizon).Total()
+	if math.Abs(got-want) > 0.02*want {
+		t.Fatalf("monitor energy %.3f J vs accountant %.3f J differ by more than 2%%", got, want)
+	}
+}
+
+func TestCustomVoltageRoundTrips(t *testing.T) {
+	tl := timelineWithOneTx(t)
+	pm := radio.GalaxyS43G()
+	a := Monitor{Voltage: 3.7}
+	b := Monitor{Voltage: 4.2}
+	ea := a.Energy(a.Capture(tl, pm, 30*time.Second))
+	eb := b.Energy(b.Capture(tl, pm, 30*time.Second))
+	// Energy is voltage-independent: current scales inversely.
+	if math.Abs(ea-eb) > 1e-9 {
+		t.Fatalf("energy differs with voltage: %v vs %v", ea, eb)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tl := timelineWithOneTx(t)
+	m := Monitor{Step: time.Second}
+	samples := m.Capture(tl, radio.GalaxyS43G(), 10*time.Second)
+	var sb strings.Builder
+	if err := WriteCSV(&sb, samples); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 11 {
+		t.Fatalf("CSV has %d lines, want header + 10", len(lines))
+	}
+	if lines[0] != "time_s,current_a,power_w,state" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(sb.String(), "DCH(tx)") {
+		t.Fatal("CSV missing transmitting state rows")
+	}
+}
+
+func TestEmptyTimelineCapture(t *testing.T) {
+	tl := &radio.Timeline{}
+	m := Monitor{}
+	samples := m.Capture(tl, radio.GalaxyS43G(), 5*time.Second)
+	if got := m.Energy(samples); got != 0 {
+		t.Fatalf("idle energy = %v, want 0", got)
+	}
+}

@@ -1,0 +1,140 @@
+// Package profile implements the delay-cost profile functions of eTrain
+// (paper §VI-A, Fig. 6). A profile maps the delay d a packet has experienced
+// to a scalar cost φ_u(d); the eTrain scheduler minimizes tail energy subject
+// to a budget on the accumulated cost.
+//
+// The three concrete profiles mirror the paper's tested cargo apps:
+//
+//	Mail  (f1): zero before the deadline, then grows linearly:
+//	            f1(d) = d/deadline − 1 for d ≥ deadline.
+//	Weibo (f2): proportional before the deadline, then a constant plateau:
+//	            f2(d) = d/deadline for d ≤ deadline, 2 afterwards.
+//	Cloud (f3): proportional before the deadline, then three times steeper:
+//	            f3(d) = d/deadline for d ≤ deadline, 3·d/deadline − 2 after.
+package profile
+
+import (
+	"fmt"
+	"time"
+)
+
+// Kind identifies one of the paper's profile families.
+type Kind int
+
+// Profile families. The iota starts at one so the zero Kind is invalid and
+// cannot be confused with Mail.
+const (
+	KindMail Kind = iota + 1
+	KindWeibo
+	KindCloud
+)
+
+// String returns the family name.
+func (k Kind) String() string {
+	switch k {
+	case KindMail:
+		return "mail"
+	case KindWeibo:
+		return "weibo"
+	case KindCloud:
+		return "cloud"
+	default:
+		return fmt.Sprintf("profile.Kind(%d)", int(k))
+	}
+}
+
+// Profile maps experienced delay to cost. Implementations must be
+// non-negative and non-decreasing in d.
+type Profile interface {
+	// Cost returns φ(d) for delay d. Negative delays cost zero.
+	Cost(d time.Duration) float64
+	// Deadline returns the delay at which the packet is considered late.
+	Deadline() time.Duration
+	// Name identifies the profile for logs and traces.
+	Name() string
+}
+
+// funcProfile implements Profile with an explicit cost function.
+type funcProfile struct {
+	name     string
+	deadline time.Duration
+	cost     func(dNorm float64) float64
+}
+
+var _ Profile = (*funcProfile)(nil)
+
+func (p *funcProfile) Name() string            { return p.name }
+func (p *funcProfile) Deadline() time.Duration { return p.deadline }
+
+func (p *funcProfile) Cost(d time.Duration) float64 {
+	if d <= 0 || p.deadline <= 0 {
+		return 0
+	}
+	return p.cost(d.Seconds() / p.deadline.Seconds())
+}
+
+// Mail returns the f1 profile: zero cost before the deadline, then
+// d/deadline − 1.
+func Mail(deadline time.Duration) Profile {
+	return &funcProfile{
+		name:     "mail/f1",
+		deadline: deadline,
+		cost: func(x float64) float64 {
+			if x <= 1 {
+				return 0
+			}
+			return x - 1
+		},
+	}
+}
+
+// Weibo returns the f2 profile: d/deadline before the deadline, then the
+// constant 2.
+func Weibo(deadline time.Duration) Profile {
+	return &funcProfile{
+		name:     "weibo/f2",
+		deadline: deadline,
+		cost: func(x float64) float64 {
+			if x <= 1 {
+				return x
+			}
+			return 2
+		},
+	}
+}
+
+// Cloud returns the f3 profile: d/deadline before the deadline, then
+// 3·d/deadline − 2.
+func Cloud(deadline time.Duration) Profile {
+	return &funcProfile{
+		name:     "cloud/f3",
+		deadline: deadline,
+		cost: func(x float64) float64 {
+			if x <= 1 {
+				return x
+			}
+			return 3*x - 2
+		},
+	}
+}
+
+// New returns the profile of the given family with the given deadline.
+func New(kind Kind, deadline time.Duration) (Profile, error) {
+	switch kind {
+	case KindMail:
+		return Mail(deadline), nil
+	case KindWeibo:
+		return Weibo(deadline), nil
+	case KindCloud:
+		return Cloud(deadline), nil
+	default:
+		return nil, fmt.Errorf("profile: unknown kind %d", int(kind))
+	}
+}
+
+// Custom returns a profile with an arbitrary cost function of normalized
+// delay x = d/deadline. The function must be non-negative and non-decreasing
+// for the scheduler's analysis to hold; this is the caller's responsibility.
+func Custom(name string, deadline time.Duration, cost func(dNorm float64) float64) Profile {
+	return &funcProfile{name: name, deadline: deadline, cost: cost}
+}

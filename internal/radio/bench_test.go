@@ -1,0 +1,62 @@
+package radio
+
+import (
+	"testing"
+	"time"
+)
+
+func buildTimeline(b *testing.B, n int) *Timeline {
+	b.Helper()
+	tl := &Timeline{}
+	for i := 0; i < n; i++ {
+		err := tl.Append(Transmission{
+			Start:  time.Duration(i) * 12 * time.Second,
+			TxTime: 200 * time.Millisecond,
+			Size:   2048,
+			Kind:   TxData,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tl
+}
+
+// BenchmarkAccountEnergy measures the tail-energy fold over a 2-hour-scale
+// timeline (~600 transmissions).
+func BenchmarkAccountEnergy(b *testing.B) {
+	model := GalaxyS43G()
+	tl := buildTimeline(b, 600)
+	horizon := 2 * time.Hour
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := tl.AccountEnergy(model, horizon)
+		if e.Total() <= 0 {
+			b.Fatal("no energy")
+		}
+	}
+}
+
+// BenchmarkPowerTrace measures rendering a 0.1 s-sampled power trace of a
+// 10-minute window.
+func BenchmarkPowerTrace(b *testing.B) {
+	model := GalaxyS43G()
+	tl := buildTimeline(b, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		samples := tl.PowerTrace(model, 10*time.Minute, 100*time.Millisecond)
+		if len(samples) == 0 {
+			b.Fatal("no samples")
+		}
+	}
+}
+
+// BenchmarkStateAt measures the binary-searched state query.
+func BenchmarkStateAt(b *testing.B) {
+	model := GalaxyS43G()
+	tl := buildTimeline(b, 600)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tl.StateAt(model, time.Duration(i%7200)*time.Second)
+	}
+}

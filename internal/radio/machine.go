@@ -1,0 +1,110 @@
+package radio
+
+import "time"
+
+// Transition is one RRC state change observed by a Machine listener.
+type Transition struct {
+	// At is the instant of the change.
+	At time.Duration
+	// From and To are the states before and after.
+	From, To State
+}
+
+// Machine is the live RRC state machine of §II-C: it tracks the radio
+// state as transmissions start and end, driving the
+// IDLE → DCH(tx) → DCH → FACH → IDLE walk in real (virtual) time. Unlike
+// Timeline.StateAt, which derives states after the fact, the Machine is fed
+// events as they happen and notifies listeners of every transition — the
+// component a live power monitor or a fast-dormancy policy would hook.
+type Machine struct {
+	model     PowerModel
+	state     State
+	stateAt   time.Duration
+	listeners []func(Transition)
+	// transmitting tracks nesting so overlapping notifications (which the
+	// serialized link never produces, but defensive) do not corrupt state.
+	transmitting int
+	transitions  int
+}
+
+// NewMachine returns a machine in IDLE at time zero.
+func NewMachine(model PowerModel) *Machine {
+	return &Machine{model: model, state: StateIdle}
+}
+
+// Subscribe registers a listener invoked synchronously on every transition,
+// in subscription order.
+func (m *Machine) Subscribe(fn func(Transition)) {
+	m.listeners = append(m.listeners, fn)
+}
+
+// State returns the machine's state at the given instant, accounting for
+// tail demotions that elapsed since the last event.
+func (m *Machine) State(now time.Duration) State {
+	m.advance(now)
+	return m.state
+}
+
+// Transitions reports how many state changes have occurred.
+func (m *Machine) Transitions() int { return m.transitions }
+
+// Power returns the instantaneous extra power at now.
+func (m *Machine) Power(now time.Duration) float64 {
+	return m.model.Power(m.State(now))
+}
+
+// BeginTransmission moves the machine to the transmitting state.
+func (m *Machine) BeginTransmission(now time.Duration) {
+	m.advance(now)
+	m.transmitting++
+	if m.state != StateTransmitting {
+		m.setState(now, StateTransmitting)
+	}
+}
+
+// EndTransmission marks a transmission's end; the tail starts now.
+func (m *Machine) EndTransmission(now time.Duration) {
+	m.advance(now)
+	if m.transmitting > 0 {
+		m.transmitting--
+	}
+	if m.transmitting == 0 && m.state == StateTransmitting {
+		m.setState(now, StateDCH)
+	}
+}
+
+// advance applies the tail demotions that elapsed between the last event
+// and now, emitting the corresponding transitions at their true instants.
+func (m *Machine) advance(now time.Duration) {
+	if m.transmitting > 0 || now <= m.stateAt {
+		return
+	}
+	for {
+		switch m.state {
+		case StateDCH:
+			demoteAt := m.stateAt + m.model.DeltaD
+			if now < demoteAt {
+				return
+			}
+			m.setState(demoteAt, StateFACH)
+		case StateFACH:
+			demoteAt := m.stateAt + m.model.DeltaF
+			if now < demoteAt {
+				return
+			}
+			m.setState(demoteAt, StateIdle)
+		default:
+			return
+		}
+	}
+}
+
+func (m *Machine) setState(at time.Duration, to State) {
+	tr := Transition{At: at, From: m.state, To: to}
+	m.state = to
+	m.stateAt = at
+	m.transitions++
+	for _, fn := range m.listeners {
+		fn(tr)
+	}
+}

@@ -1,0 +1,155 @@
+package radio
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMachineWalk(t *testing.T) {
+	m := NewMachine(GalaxyS43G())
+	if got := m.State(0); got != StateIdle {
+		t.Fatalf("initial state = %v", got)
+	}
+	m.BeginTransmission(5 * time.Second)
+	if got := m.State(6 * time.Second); got != StateTransmitting {
+		t.Fatalf("state during tx = %v", got)
+	}
+	m.EndTransmission(7 * time.Second)
+	tests := []struct {
+		at   time.Duration
+		want State
+	}{
+		{7 * time.Second, StateDCH},
+		{16 * time.Second, StateDCH},
+		{17 * time.Second, StateFACH},
+		{24 * time.Second, StateFACH},
+		{24*time.Second + 500*time.Millisecond, StateIdle},
+		{time.Minute, StateIdle},
+	}
+	for _, tt := range tests {
+		if got := m.State(tt.at); got != tt.want {
+			t.Fatalf("State(%v) = %v, want %v", tt.at, got, tt.want)
+		}
+	}
+}
+
+func TestMachineTailResetOnNewTransmission(t *testing.T) {
+	m := NewMachine(GalaxyS43G())
+	m.BeginTransmission(0)
+	m.EndTransmission(time.Second)
+	// 12 s later the radio is in FACH; a new transmission re-promotes.
+	m.BeginTransmission(13 * time.Second)
+	if got := m.State(13 * time.Second); got != StateTransmitting {
+		t.Fatalf("state = %v, want transmitting", got)
+	}
+	m.EndTransmission(14 * time.Second)
+	// Full fresh tail from 14 s.
+	if got := m.State(23 * time.Second); got != StateDCH {
+		t.Fatalf("state 9s into fresh tail = %v, want DCH", got)
+	}
+}
+
+func TestMachineListenersSeeTransitionsAtTrueInstants(t *testing.T) {
+	m := NewMachine(GalaxyS43G())
+	var transitions []Transition
+	m.Subscribe(func(tr Transition) { transitions = append(transitions, tr) })
+	m.BeginTransmission(0)
+	m.EndTransmission(2 * time.Second)
+	// Query far in the future: demotions must be emitted at their true
+	// times, not the query time.
+	m.State(time.Minute)
+
+	want := []Transition{
+		{At: 0, From: StateIdle, To: StateTransmitting},
+		{At: 2 * time.Second, From: StateTransmitting, To: StateDCH},
+		{At: 12 * time.Second, From: StateDCH, To: StateFACH},
+		{At: 19500 * time.Millisecond, From: StateFACH, To: StateIdle},
+	}
+	if len(transitions) != len(want) {
+		t.Fatalf("got %d transitions %v, want %d", len(transitions), transitions, len(want))
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transition %d = %+v, want %+v", i, transitions[i], want[i])
+		}
+	}
+	if m.Transitions() != len(want) {
+		t.Fatalf("Transitions() = %d", m.Transitions())
+	}
+}
+
+func TestMachineMatchesTimelineDerivation(t *testing.T) {
+	// The live machine and the post-hoc timeline derivation must agree on
+	// every sampled instant.
+	model := GalaxyS43G()
+	var tl Timeline
+	txs := []Transmission{
+		{Start: 3 * time.Second, TxTime: time.Second, Kind: TxHeartbeat},
+		{Start: 9 * time.Second, TxTime: 2 * time.Second, Kind: TxData},
+		{Start: 45 * time.Second, TxTime: 500 * time.Millisecond, Kind: TxData},
+	}
+	for _, tx := range txs {
+		if err := tl.Append(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := NewMachine(model)
+	sampleAt := func(at time.Duration) State { return m.State(at) }
+	txIdx := 0
+	var pendingEnd time.Duration
+	inTx := false
+	for at := time.Duration(0); at < 90*time.Second; at += 250 * time.Millisecond {
+		// Feed machine events that occur before this sample.
+		for {
+			if inTx && pendingEnd <= at {
+				m.EndTransmission(pendingEnd)
+				inTx = false
+				continue
+			}
+			if !inTx && txIdx < len(txs) && txs[txIdx].Start <= at {
+				m.BeginTransmission(txs[txIdx].Start)
+				pendingEnd = txs[txIdx].End()
+				inTx = true
+				txIdx++
+				continue
+			}
+			break
+		}
+		live := sampleAt(at)
+		derived := tl.StateAt(model, at)
+		if live != derived {
+			t.Fatalf("at %v: machine %v != timeline %v", at, live, derived)
+		}
+	}
+}
+
+func TestMachinePower(t *testing.T) {
+	m := NewMachine(GalaxyS43G())
+	m.BeginTransmission(0)
+	if got := m.Power(0); got != 0.7 {
+		t.Fatalf("tx power = %v", got)
+	}
+	m.EndTransmission(time.Second)
+	if got := m.Power(30 * time.Second); got != 0 {
+		t.Fatalf("idle power = %v", got)
+	}
+}
+
+func TestMachineDefensiveNesting(t *testing.T) {
+	m := NewMachine(GalaxyS43G())
+	m.BeginTransmission(0)
+	m.BeginTransmission(time.Second) // overlapping (defensive)
+	m.EndTransmission(2 * time.Second)
+	if got := m.State(2 * time.Second); got != StateTransmitting {
+		t.Fatalf("state with one open tx = %v", got)
+	}
+	m.EndTransmission(3 * time.Second)
+	if got := m.State(3 * time.Second); got != StateDCH {
+		t.Fatalf("state after all tx end = %v", got)
+	}
+	// A stray extra EndTransmission must not underflow.
+	m.EndTransmission(4 * time.Second)
+	if got := m.State(5 * time.Second); got != StateDCH {
+		t.Fatalf("state after stray end = %v", got)
+	}
+}

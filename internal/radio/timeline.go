@@ -1,0 +1,185 @@
+package radio
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// TxKind classifies what a transmission carried.
+type TxKind int
+
+// Transmission kinds.
+const (
+	TxHeartbeat TxKind = iota + 1
+	TxData
+)
+
+// String returns the kind name.
+func (k TxKind) String() string {
+	switch k {
+	case TxHeartbeat:
+		return "heartbeat"
+	case TxData:
+		return "data"
+	default:
+		return fmt.Sprintf("radio.TxKind(%d)", int(k))
+	}
+}
+
+// Transmission is one completed radio transmission on the timeline.
+type Transmission struct {
+	// Start is the virtual instant the transmission began.
+	Start time.Duration
+	// TxTime is how long the transmission occupied the radio.
+	TxTime time.Duration
+	// Size is the payload in bytes.
+	Size int64
+	// Kind distinguishes heartbeats from data.
+	Kind TxKind
+	// App names the originating application.
+	App string
+}
+
+// End returns the instant the transmission finished.
+func (t Transmission) End() time.Duration { return t.Start + t.TxTime }
+
+// Timeline is the chronologically ordered record of every transmission of a
+// run. The simulator serializes transmissions (paper constraint (3)), so
+// intervals never overlap.
+type Timeline struct {
+	txs []Transmission
+}
+
+// Append adds a transmission. Transmissions must be appended in start order
+// and must not overlap the previous one; violations return an error because
+// they indicate a scheduler bug.
+func (tl *Timeline) Append(tx Transmission) error {
+	if tx.TxTime < 0 {
+		return fmt.Errorf("radio: negative transmission time %v", tx.TxTime)
+	}
+	if n := len(tl.txs); n > 0 {
+		prev := tl.txs[n-1]
+		if tx.Start < prev.End() {
+			return fmt.Errorf("radio: transmission at %v overlaps previous ending %v",
+				tx.Start, prev.End())
+		}
+	}
+	tl.txs = append(tl.txs, tx)
+	return nil
+}
+
+// Len returns the number of recorded transmissions.
+func (tl *Timeline) Len() int { return len(tl.txs) }
+
+// Transmissions returns a copy of the recorded transmissions.
+func (tl *Timeline) Transmissions() []Transmission {
+	out := make([]Transmission, len(tl.txs))
+	copy(out, tl.txs)
+	return out
+}
+
+// BusyUntil returns the end of the last transmission, i.e. the earliest
+// instant the radio link is free again.
+func (tl *Timeline) BusyUntil() time.Duration {
+	if len(tl.txs) == 0 {
+		return 0
+	}
+	return tl.txs[len(tl.txs)-1].End()
+}
+
+// Energy is the energy breakdown of a timeline in joules (above the IDLE
+// baseline).
+type Energy struct {
+	// Transmit is the energy spent actively transmitting.
+	Transmit float64
+	// Tail is the energy wasted in post-transmission tails.
+	Tail float64
+	// HeartbeatShare is the portion (transmit + tail) attributed to
+	// heartbeat transmissions.
+	HeartbeatShare float64
+	// DataShare is the portion attributed to data transmissions.
+	DataShare float64
+}
+
+// Total returns transmit + tail energy.
+func (e Energy) Total() float64 { return e.Transmit + e.Tail }
+
+// AccountEnergy folds the timeline with the power model: each transmission
+// pays its transmit energy plus the tail energy of the gap to the next
+// transmission; the final transmission pays a full tail (horizon permitting).
+//
+// horizon bounds the final tail: a transmission ending at horizon−5s with a
+// 17.5s tail only accrues 5s of it.
+func (tl *Timeline) AccountEnergy(m PowerModel, horizon time.Duration) Energy {
+	var e Energy
+	for i, tx := range tl.txs {
+		txE := m.TransmitEnergy(tx.TxTime)
+
+		var gap time.Duration
+		if i+1 < len(tl.txs) {
+			gap = tl.txs[i+1].Start - tx.End()
+		} else {
+			gap = horizon - tx.End()
+			if gap > m.TailTime() {
+				gap = m.TailTime()
+			}
+		}
+		tailE := m.TailEnergy(gap)
+
+		e.Transmit += txE
+		e.Tail += tailE
+		switch tx.Kind {
+		case TxHeartbeat:
+			e.HeartbeatShare += txE + tailE
+		case TxData:
+			e.DataShare += txE + tailE
+		}
+	}
+	return e
+}
+
+// AccountFastDormancy computes the energy of the same timeline under a
+// fast-dormancy policy (related work, §VII): the tail is cut immediately
+// after each transmission, but every transmission that starts from IDLE
+// pays the promotion delay at DCH power. This is the ablation the paper
+// argues against.
+func (tl *Timeline) AccountFastDormancy(m PowerModel) Energy {
+	var e Energy
+	for _, tx := range tl.txs {
+		txE := m.TransmitEnergy(tx.TxTime)
+		promoE := m.PD * m.PromotionDelay.Seconds()
+		e.Transmit += txE + promoE
+		switch tx.Kind {
+		case TxHeartbeat:
+			e.HeartbeatShare += txE + promoE
+		case TxData:
+			e.DataShare += txE + promoE
+		}
+	}
+	return e
+}
+
+// StateAt returns the radio state at virtual time at, derived from the
+// timeline: transmitting while inside an interval, then walking the tail of
+// the closest preceding transmission.
+func (tl *Timeline) StateAt(m PowerModel, at time.Duration) State {
+	idx := sort.Search(len(tl.txs), func(i int) bool {
+		return tl.txs[i].Start > at
+	})
+	// idx is the first transmission starting after `at`; the candidate
+	// containing or preceding `at` is idx−1.
+	if idx == 0 {
+		return StateIdle
+	}
+	prev := tl.txs[idx-1]
+	if at < prev.End() {
+		return StateTransmitting
+	}
+	return m.TailStateAt(at - prev.End())
+}
+
+// PowerAt returns the instantaneous extra power at virtual time at.
+func (tl *Timeline) PowerAt(m PowerModel, at time.Duration) float64 {
+	return m.Power(tl.StateAt(m, at))
+}

@@ -1,0 +1,97 @@
+// Package randx provides deterministic random-number utilities used across
+// the eTrain simulator: seeded streams, Poisson arrival processes and
+// truncated normal size distributions.
+//
+// All randomness in the repository flows through this package so that every
+// simulation run is exactly reproducible from its seed.
+package randx
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Source is a deterministic random stream. It wraps math/rand with the
+// distributions the workload and bandwidth models need.
+type Source struct {
+	rng *rand.Rand
+}
+
+// New returns a Source seeded with seed. Equal seeds yield equal streams.
+func New(seed int64) *Source {
+	return &Source{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Split derives an independent child stream from this source. The child is a
+// pure function of the parent's seed sequence, so splitting preserves
+// determinism while decoupling consumers from each other's draw counts.
+func (s *Source) Split() *Source {
+	return New(s.rng.Int63())
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Source) Float64() float64 { return s.rng.Float64() }
+
+// Intn returns a uniform value in [0, n). n must be > 0.
+func (s *Source) Intn(n int) int { return s.rng.Intn(n) }
+
+// Int63 returns a non-negative uniform 63-bit integer.
+func (s *Source) Int63() int64 { return s.rng.Int63() }
+
+// NormFloat64 returns a standard normal value.
+func (s *Source) NormFloat64() float64 { return s.rng.NormFloat64() }
+
+// Exp returns an exponential value with the given mean. A non-positive mean
+// returns 0.
+func (s *Source) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return s.rng.ExpFloat64() * mean
+}
+
+// Normal returns a normal value with the given mean and standard deviation.
+func (s *Source) Normal(mean, stddev float64) float64 {
+	return s.rng.NormFloat64()*stddev + mean
+}
+
+// TruncatedNormal returns a normal value with the given mean and standard
+// deviation, truncated from below at min. Values below min are resampled; if
+// resampling fails repeatedly (a pathological configuration where min is far
+// above the mean) the value saturates at min.
+func (s *Source) TruncatedNormal(mean, stddev, min float64) float64 {
+	const maxAttempts = 64
+	for i := 0; i < maxAttempts; i++ {
+		v := s.Normal(mean, stddev)
+		if v >= min {
+			return v
+		}
+	}
+	return min
+}
+
+// Poisson returns a Poisson-distributed count with the given mean, using
+// inversion for small means and the normal approximation for large ones.
+func (s *Source) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 60 {
+		// Normal approximation keeps inversion numerically stable.
+		v := math.Round(s.Normal(mean, math.Sqrt(mean)))
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= s.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

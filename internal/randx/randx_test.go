@@ -1,0 +1,187 @@
+package randx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d identical draws out of 100", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Split()
+	// The child must be deterministic given the parent seed.
+	parent2 := New(7)
+	child2 := parent2.Split()
+	for i := 0; i < 50; i++ {
+		if child.Float64() != child2.Float64() {
+			t.Fatalf("split streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(3)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Exp(5.0)
+	}
+	mean := sum / n
+	if math.Abs(mean-5.0) > 0.1 {
+		t.Fatalf("Exp mean = %.3f, want ~5.0", mean)
+	}
+}
+
+func TestExpNonPositiveMean(t *testing.T) {
+	s := New(3)
+	if got := s.Exp(0); got != 0 {
+		t.Fatalf("Exp(0) = %v, want 0", got)
+	}
+	if got := s.Exp(-1); got != 0 {
+		t.Fatalf("Exp(-1) = %v, want 0", got)
+	}
+}
+
+func TestTruncatedNormalRespectsMin(t *testing.T) {
+	s := New(11)
+	prop := func(seedDelta uint8) bool {
+		src := New(int64(seedDelta))
+		for i := 0; i < 200; i++ {
+			if src.TruncatedNormal(5000, 2500, 1000) < 1000 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+	_ = s
+}
+
+func TestTruncatedNormalSaturatesWhenMinFarAboveMean(t *testing.T) {
+	s := New(5)
+	v := s.TruncatedNormal(0, 0.001, 100)
+	if v != 100 {
+		t.Fatalf("TruncatedNormal saturation = %v, want 100", v)
+	}
+}
+
+func TestTruncatedNormalMean(t *testing.T) {
+	s := New(17)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.TruncatedNormal(5000, 1000, 1000)
+	}
+	mean := sum / n
+	// Truncation at 4 sigma below the mean barely shifts it.
+	if math.Abs(mean-5000) > 50 {
+		t.Fatalf("truncated normal mean = %.1f, want ~5000", mean)
+	}
+}
+
+func TestPoissonSmallMean(t *testing.T) {
+	s := New(23)
+	const n = 100000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += s.Poisson(2.5)
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-2.5) > 0.05 {
+		t.Fatalf("Poisson mean = %.3f, want ~2.5", mean)
+	}
+}
+
+func TestPoissonLargeMean(t *testing.T) {
+	s := New(29)
+	const n = 20000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += s.Poisson(100)
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-100) > 1 {
+		t.Fatalf("Poisson(100) mean = %.2f, want ~100", mean)
+	}
+}
+
+func TestPoissonZeroMean(t *testing.T) {
+	s := New(31)
+	if got := s.Poisson(0); got != 0 {
+		t.Fatalf("Poisson(0) = %d, want 0", got)
+	}
+}
+
+func TestPoissonProcessMonotone(t *testing.T) {
+	p := NewPoissonProcess(New(37), 10*time.Second)
+	prev := time.Duration(-1)
+	for i := 0; i < 1000; i++ {
+		next := p.Next()
+		if next < prev {
+			t.Fatalf("arrival %d at %v is before previous %v", i, next, prev)
+		}
+		prev = next
+	}
+}
+
+func TestPoissonProcessRate(t *testing.T) {
+	p := NewPoissonProcess(New(41), 10*time.Second)
+	horizon := 100000 * time.Second
+	arrivals := p.ArrivalsUntil(horizon)
+	want := int(horizon / (10 * time.Second))
+	got := len(arrivals)
+	if math.Abs(float64(got-want)) > 0.05*float64(want) {
+		t.Fatalf("got %d arrivals, want ~%d", got, want)
+	}
+	for _, a := range arrivals {
+		if a >= horizon {
+			t.Fatalf("arrival %v beyond horizon %v", a, horizon)
+		}
+	}
+}
+
+func TestPoissonProcessPeekDoesNotConsume(t *testing.T) {
+	p := NewPoissonProcess(New(43), time.Second)
+	a := p.Peek()
+	b := p.Peek()
+	if a != b {
+		t.Fatalf("Peek consumed the arrival: %v then %v", a, b)
+	}
+	if got := p.Next(); got != a {
+		t.Fatalf("Next = %v, want peeked %v", got, a)
+	}
+}
+
+func TestPoissonProcessExhaustedHorizon(t *testing.T) {
+	p := NewPoissonProcess(New(47), time.Hour)
+	if got := p.ArrivalsUntil(0); got != nil {
+		t.Fatalf("ArrivalsUntil(0) = %v, want nil", got)
+	}
+}

@@ -1,0 +1,50 @@
+package sched
+
+import (
+	"time"
+
+	"etrain/internal/workload"
+)
+
+// TxQueue is the paper's Q_TX: a FIFO transmission queue buffering packets
+// that should be transmitted as soon as possible. Whenever the queue is
+// non-empty and there is radio resource available, the head-of-line packet
+// is transmitted (§IV).
+type TxQueue struct {
+	packets []workload.Packet
+	// enqueuedAt records when each packet entered Q_TX (for queueing
+	// statistics), parallel to packets.
+	enqueuedAt []time.Duration
+}
+
+// Inject appends the scheduler's selection Q*(t) to the transmission queue
+// in order.
+func (q *TxQueue) Inject(at time.Duration, selected []workload.Packet) {
+	q.packets = append(q.packets, selected...)
+	for range selected {
+		q.enqueuedAt = append(q.enqueuedAt, at)
+	}
+}
+
+// Len reports the queued packet count.
+func (q *TxQueue) Len() int { return len(q.packets) }
+
+// Pop removes and returns the head-of-line packet and its injection time.
+func (q *TxQueue) Pop() (workload.Packet, time.Duration, bool) {
+	if len(q.packets) == 0 {
+		return workload.Packet{}, 0, false
+	}
+	p := q.packets[0]
+	at := q.enqueuedAt[0]
+	q.packets = q.packets[1:]
+	q.enqueuedAt = q.enqueuedAt[1:]
+	return p, at, true
+}
+
+// Peek returns the head-of-line packet without removing it.
+func (q *TxQueue) Peek() (workload.Packet, bool) {
+	if len(q.packets) == 0 {
+		return workload.Packet{}, false
+	}
+	return q.packets[0], true
+}

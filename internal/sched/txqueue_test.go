@@ -1,0 +1,59 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"etrain/internal/workload"
+)
+
+func TestTxQueueFIFO(t *testing.T) {
+	var q TxQueue
+	if q.Len() != 0 {
+		t.Fatal("fresh queue not empty")
+	}
+	if _, _, ok := q.Pop(); ok {
+		t.Fatal("popped from empty queue")
+	}
+	if _, ok := q.Peek(); ok {
+		t.Fatal("peeked empty queue")
+	}
+
+	q.Inject(10*time.Second, []workload.Packet{pkt(1, "a", 0), pkt(2, "b", 0)})
+	q.Inject(20*time.Second, []workload.Packet{pkt(3, "a", 0)})
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", q.Len())
+	}
+
+	head, ok := q.Peek()
+	if !ok || head.ID != 1 {
+		t.Fatalf("Peek = %v", head.ID)
+	}
+
+	wantOrder := []struct {
+		id int
+		at time.Duration
+	}{
+		{1, 10 * time.Second}, {2, 10 * time.Second}, {3, 20 * time.Second},
+	}
+	for i, want := range wantOrder {
+		p, at, ok := q.Pop()
+		if !ok {
+			t.Fatalf("pop %d failed", i)
+		}
+		if p.ID != want.id || at != want.at {
+			t.Fatalf("pop %d = (%d, %v), want (%d, %v)", i, p.ID, at, want.id, want.at)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatal("queue not drained")
+	}
+}
+
+func TestTxQueueInjectEmptySelection(t *testing.T) {
+	var q TxQueue
+	q.Inject(time.Second, nil)
+	if q.Len() != 0 {
+		t.Fatal("empty injection changed the queue")
+	}
+}

@@ -1,0 +1,353 @@
+// Package sim drives the slotted simulation of the paper's §VI: heartbeat
+// departures, Poisson cargo arrivals, a scheduling strategy, and a
+// serialized radio link feeding the tail-energy accountant.
+//
+// Each run is deterministic: heartbeat schedules and packet arrivals are
+// precomputed, the only randomness (channel-estimator noise) flows from an
+// explicit seed.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"etrain/internal/bandwidth"
+	"etrain/internal/heartbeat"
+	"etrain/internal/radio"
+	"etrain/internal/sched"
+	"etrain/internal/stats"
+	"etrain/internal/workload"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// Horizon is the simulated span; the paper uses 7200 s.
+	Horizon time.Duration
+	// Trains are the heartbeat-sending apps.
+	Trains []heartbeat.TrainApp
+	// Beats, when non-nil, overrides the trains' generated schedule with an
+	// explicit departure table (jittered schedules, offline instances).
+	Beats []heartbeat.Beat
+	// Packets are the cargo arrivals, sorted by arrival time.
+	Packets []workload.Packet
+	// Bandwidth drives transmission durations. Required.
+	Bandwidth *bandwidth.Trace
+	// Power is the radio energy model. Required (use radio.GalaxyS43G()).
+	Power radio.PowerModel
+	// Strategy decides data transmissions. Required.
+	Strategy sched.Strategy
+	// Estimator, if set, exposes a noisy channel estimate to the strategy
+	// (PerES/eTime). eTrain ignores it.
+	Estimator *bandwidth.Estimator
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Horizon <= 0 {
+		return fmt.Errorf("sim: non-positive horizon %v", c.Horizon)
+	}
+	if c.Bandwidth == nil {
+		return fmt.Errorf("sim: no bandwidth trace")
+	}
+	if c.Strategy == nil {
+		return fmt.Errorf("sim: no strategy")
+	}
+	if err := c.Power.Validate(); err != nil {
+		return err
+	}
+	for _, tr := range c.Trains {
+		if err := tr.Validate(); err != nil {
+			return err
+		}
+	}
+	for i := 1; i < len(c.Beats); i++ {
+		if c.Beats[i].At < c.Beats[i-1].At {
+			return fmt.Errorf("sim: beat override not sorted at index %d", i)
+		}
+	}
+	for i := 1; i < len(c.Packets); i++ {
+		if c.Packets[i].ArrivedAt < c.Packets[i-1].ArrivedAt {
+			return fmt.Errorf("sim: packets not sorted at index %d", i)
+		}
+	}
+	return nil
+}
+
+// PacketStat records the fate of one data packet.
+type PacketStat struct {
+	// ID, App and Size identify the packet.
+	ID   int
+	App  string
+	Size int64
+	// ArrivedAt and StartedAt are t_a(u) and t_s(u).
+	ArrivedAt time.Duration
+	StartedAt time.Duration
+	// Delay is StartedAt − ArrivedAt.
+	Delay time.Duration
+	// Violated reports whether Delay exceeded the packet's deadline.
+	Violated bool
+	// ForcedFlush marks packets drained unscheduled at the horizon.
+	ForcedFlush bool
+}
+
+// Result aggregates one run.
+type Result struct {
+	// Strategy names the strategy that produced the result.
+	Strategy string
+	// Energy is the radio energy breakdown.
+	Energy radio.Energy
+	// Timeline is the full transmission record.
+	Timeline *radio.Timeline
+	// Packets holds one entry per data packet, in transmission order.
+	Packets []PacketStat
+	// HeartbeatCount is the number of heartbeat transmissions.
+	HeartbeatCount int
+	// ForcedFlushCount is how many packets were still queued at the
+	// horizon and force-drained.
+	ForcedFlushCount int
+}
+
+// NormalizedDelay returns the paper's normalized delay metric: the average
+// delay per data packet.
+func (r Result) NormalizedDelay() time.Duration {
+	if len(r.Packets) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, p := range r.Packets {
+		total += p.Delay
+	}
+	return total / time.Duration(len(r.Packets))
+}
+
+// AppStat summarizes one cargo app's outcomes within a run.
+type AppStat struct {
+	// Count is the number of packets the app transmitted.
+	Count int
+	// AvgDelay is the mean delay of the app's packets.
+	AvgDelay time.Duration
+	// ViolationRatio is the app's own deadline violation ratio.
+	ViolationRatio float64
+	// Bytes is the total payload transmitted.
+	Bytes int64
+}
+
+// AppStats breaks the run's packet outcomes down by cargo app.
+func (r Result) AppStats() map[string]AppStat {
+	type acc struct {
+		count    int
+		delays   time.Duration
+		violated int
+		bytes    int64
+	}
+	accs := make(map[string]*acc)
+	for _, p := range r.Packets {
+		a, ok := accs[p.App]
+		if !ok {
+			a = &acc{}
+			accs[p.App] = a
+		}
+		a.count++
+		a.delays += p.Delay
+		a.bytes += p.Size
+		if p.Violated {
+			a.violated++
+		}
+	}
+	out := make(map[string]AppStat, len(accs))
+	for app, a := range accs {
+		stat := AppStat{Count: a.count, Bytes: a.bytes}
+		if a.count > 0 {
+			stat.AvgDelay = a.delays / time.Duration(a.count)
+			stat.ViolationRatio = float64(a.violated) / float64(a.count)
+		}
+		out[app] = stat
+	}
+	return out
+}
+
+// DelayPercentile returns the p-th percentile (0–100) of per-packet delay.
+func (r Result) DelayPercentile(p float64) time.Duration {
+	if len(r.Packets) == 0 {
+		return 0
+	}
+	delays := make([]float64, len(r.Packets))
+	for i, pkt := range r.Packets {
+		delays[i] = pkt.Delay.Seconds()
+	}
+	v, err := stats.Percentile(delays, p)
+	if err != nil {
+		return 0
+	}
+	return time.Duration(v * float64(time.Second))
+}
+
+// DeadlineViolationRatio returns the fraction of packets transmitted after
+// their deadline.
+func (r Result) DeadlineViolationRatio() float64 {
+	if len(r.Packets) == 0 {
+		return 0
+	}
+	violated := 0
+	for _, p := range r.Packets {
+		if p.Violated {
+			violated++
+		}
+	}
+	return float64(violated) / float64(len(r.Packets))
+}
+
+// Run executes the simulation.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	beats := cfg.Beats
+	if beats == nil {
+		beats = heartbeat.Merge(cfg.Trains, cfg.Horizon)
+	}
+	slot := cfg.Strategy.SlotLength()
+	if slot <= 0 {
+		slot = time.Second
+	}
+
+	queues := sched.NewQueues()
+	txQueue := &sched.TxQueue{} // the paper's Q_TX
+	timeline := &radio.Timeline{}
+	res := &Result{Strategy: cfg.Strategy.Name(), Timeline: timeline}
+
+	nextPacket := 0
+	nextBeat := 0
+	busyUntil := time.Duration(0)
+
+	transmit := func(at time.Duration, size int64, kind radio.TxKind, app string) (time.Duration, error) {
+		start := at
+		if busyUntil > start {
+			start = busyUntil
+		}
+		txTime := cfg.Bandwidth.TransmitTime(start, size)
+		err := timeline.Append(radio.Transmission{
+			Start: start, TxTime: txTime, Size: size, Kind: kind, App: app,
+		})
+		if err != nil {
+			return 0, err
+		}
+		busyUntil = start + txTime
+		return start, nil
+	}
+
+	recordData := func(p workload.Packet, start time.Duration, forced bool) {
+		res.Packets = append(res.Packets, PacketStat{
+			ID: p.ID, App: p.App, Size: p.Size,
+			ArrivedAt: p.ArrivedAt, StartedAt: start,
+			Delay:       start - p.ArrivedAt,
+			Violated:    p.DeadlineViolated(start),
+			ForcedFlush: forced,
+		})
+	}
+
+	for slotStart := time.Duration(0); slotStart < cfg.Horizon; slotStart += slot {
+		slotEnd := slotStart + slot
+
+		// Packets generated in earlier slots are visible now (the paper's
+		// A_i(t) arrives by the end of slot t).
+		for nextPacket < len(cfg.Packets) && cfg.Packets[nextPacket].ArrivedAt < slotStart {
+			queues.Add(cfg.Packets[nextPacket])
+			nextPacket++
+		}
+
+		// Train departures within this slot.
+		beatEnd := nextBeat
+		for beatEnd < len(beats) && beats[beatEnd].At < slotEnd {
+			beatEnd++
+		}
+		slotBeats := beats[nextBeat:beatEnd]
+		nextBeat = beatEnd
+
+		ctx := &sched.SlotContext{
+			Now:           slotStart,
+			SlotLength:    slot,
+			HeartbeatNow:  len(slotBeats) > 0,
+			Beats:         slotBeats,
+			Queues:        queues,
+			MeanBandwidth: cfg.Bandwidth.Mean(),
+		}
+		if cfg.Estimator != nil {
+			at := slotStart
+			ctx.EstimateBandwidth = func() float64 { return cfg.Estimator.Estimate(at) }
+		}
+
+		selected := cfg.Strategy.Schedule(ctx)
+		// Q*(t) is injected into the FIFO transmission queue Q_TX, whose
+		// head-of-line packet transmits whenever the radio is free (§IV).
+		txQueue.Inject(slotStart, selected)
+
+		// Interleave heartbeats (at their departure instants) and Q_TX
+		// drains (from their injection instants) on the serialized link. A
+		// heartbeat departing exactly at the slot start goes first so data
+		// rides its tail.
+		type txEvent struct {
+			at   time.Duration
+			size int64
+			kind radio.TxKind
+			app  string
+			pkt  workload.Packet
+		}
+		events := make([]txEvent, 0, len(slotBeats)+txQueue.Len())
+		for _, b := range slotBeats {
+			events = append(events, txEvent{at: b.At, size: b.Size, kind: radio.TxHeartbeat, app: b.App})
+		}
+		for {
+			p, injectedAt, ok := txQueue.Pop()
+			if !ok {
+				break
+			}
+			events = append(events, txEvent{at: injectedAt, size: p.Size, kind: radio.TxData, app: p.App, pkt: p})
+		}
+		sort.SliceStable(events, func(i, j int) bool {
+			if events[i].at != events[j].at {
+				return events[i].at < events[j].at
+			}
+			return events[i].kind == radio.TxHeartbeat && events[j].kind != radio.TxHeartbeat
+		})
+		for _, ev := range events {
+			start, err := transmit(ev.at, ev.size, ev.kind, ev.app)
+			if err != nil {
+				return nil, err
+			}
+			if ev.kind == radio.TxHeartbeat {
+				res.HeartbeatCount++
+			} else {
+				recordData(ev.pkt, start, false)
+			}
+		}
+	}
+
+	// Horizon flush: whatever is still queued is drained so every packet is
+	// accounted for. (End effects only; counted separately.)
+	for nextPacket < len(cfg.Packets) {
+		queues.Add(cfg.Packets[nextPacket])
+		nextPacket++
+	}
+	for {
+		oldest, ok := queues.Oldest()
+		if !ok {
+			break
+		}
+		p, ok := queues.PopByID(oldest.App, oldest.ID)
+		if !ok {
+			break
+		}
+		start, err := transmit(cfg.Horizon, p.Size, radio.TxData, p.App)
+		if err != nil {
+			return nil, err
+		}
+		recordData(p, start, true)
+		res.ForcedFlushCount++
+	}
+
+	res.Energy = timeline.AccountEnergy(cfg.Power, cfg.Horizon+cfg.Power.TailTime())
+	return res, nil
+}

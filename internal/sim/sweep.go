@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"etrain/internal/sched"
+)
+
+// EDPoint is one point on an energy–delay panel (the paper's E-D panel,
+// Fig. 7b / Fig. 8a).
+type EDPoint struct {
+	// Control is the tuning-parameter value that produced the point
+	// (Θ for eTrain, Ω for PerES, V for eTime).
+	Control float64
+	// EnergyJoules is the run's total radio energy.
+	EnergyJoules float64
+	// Delay is the normalized delay.
+	Delay time.Duration
+	// ViolationRatio is the deadline violation ratio.
+	ViolationRatio float64
+}
+
+// StrategyFactory builds a fresh strategy for a given control-parameter
+// value. Strategies are stateful, so sweeps construct a new one per run.
+type StrategyFactory func(control float64) (sched.Strategy, error)
+
+// Sweep runs the configuration once per control value and returns the E–D
+// points in input order.
+func Sweep(cfg Config, factory StrategyFactory, controls []float64) ([]EDPoint, error) {
+	points := make([]EDPoint, 0, len(controls))
+	for _, ctrl := range controls {
+		strategy, err := factory(ctrl)
+		if err != nil {
+			return nil, fmt.Errorf("sweep control %v: %w", ctrl, err)
+		}
+		cfg.Strategy = strategy
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("sweep control %v: %w", ctrl, err)
+		}
+		points = append(points, EDPoint{
+			Control:        ctrl,
+			EnergyJoules:   res.Energy.Total(),
+			Delay:          res.NormalizedDelay(),
+			ViolationRatio: res.DeadlineViolationRatio(),
+		})
+	}
+	return points, nil
+}
+
+// calibrationTolerance is the delay slack within which calibration picks
+// the cheapest point rather than the closest-delay one. Strategies whose
+// delay curve flattens near the target (eTrain past its train-gap floor)
+// would otherwise be charged for an arbitrary point on a steep energy
+// gradient.
+const calibrationTolerance = 4 * time.Second
+
+// CalibrateDelay finds, by bisection over [lo, hi], the control value whose
+// run meets the target normalized delay, assuming delay is non-decreasing
+// in the control (true for Θ, Ω and V). Among evaluated points within
+// calibrationTolerance of the target it returns the lowest-energy one;
+// otherwise the closest-delay one. This mirrors the paper's Fig. 8b
+// methodology: "picking the right value of Ω, V and Θ" so every strategy is
+// compared at the same delay.
+func CalibrateDelay(cfg Config, factory StrategyFactory, target time.Duration, lo, hi float64, iterations int) (EDPoint, error) {
+	if iterations <= 0 {
+		iterations = 12
+	}
+	evaluate := func(ctrl float64) (EDPoint, error) {
+		pts, err := Sweep(cfg, factory, []float64{ctrl})
+		if err != nil {
+			return EDPoint{}, err
+		}
+		return pts[0], nil
+	}
+
+	var evaluated []EDPoint
+	loPt, err := evaluate(lo)
+	if err != nil {
+		return EDPoint{}, err
+	}
+	evaluated = append(evaluated, loPt)
+
+	hiPt, err := evaluate(hi)
+	if err != nil {
+		return EDPoint{}, err
+	}
+	evaluated = append(evaluated, hiPt)
+
+	for i := 0; i < iterations; i++ {
+		mid := (lo + hi) / 2
+		pt, err := evaluate(mid)
+		if err != nil {
+			return EDPoint{}, err
+		}
+		evaluated = append(evaluated, pt)
+		if pt.Delay < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+
+	// Bisection stops as soon as it brackets the target, but when the
+	// delay curve flattens past it (energy still falling), cheaper
+	// settings remain within tolerance at higher controls. Probe a few.
+	pivot := (lo + hi) / 2
+	for _, mult := range []float64{1.3, 1.7, 2.4} {
+		ctrl := pivot * mult
+		if ctrl <= pivot {
+			break
+		}
+		pt, err := evaluate(ctrl)
+		if err != nil {
+			return EDPoint{}, err
+		}
+		evaluated = append(evaluated, pt)
+		if absDuration(pt.Delay-target) > calibrationTolerance {
+			break // delay left the tolerance band; further probes only worsen it
+		}
+	}
+
+	best := evaluated[0]
+	bestWithin := false
+	for _, pt := range evaluated {
+		within := absDuration(pt.Delay-target) <= calibrationTolerance
+		switch {
+		case within && !bestWithin:
+			best, bestWithin = pt, true
+		case within && bestWithin && pt.EnergyJoules < best.EnergyJoules:
+			best = pt
+		case !within && !bestWithin &&
+			absDuration(pt.Delay-target) < absDuration(best.Delay-target):
+			best = pt
+		}
+	}
+	return best, nil
+}
+
+func absDuration(d time.Duration) time.Duration {
+	if d < 0 {
+		return -d
+	}
+	return d
+}

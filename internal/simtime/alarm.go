@@ -1,0 +1,42 @@
+package simtime
+
+import "time"
+
+// Alarm is a handle to a (possibly repeating) scheduled callback, in the
+// spirit of Android's AlarmManager: train apps use alarms to schedule their
+// periodic heartbeats.
+type Alarm struct {
+	loop     *Loop
+	interval time.Duration
+	fire     Event
+	canceled bool
+}
+
+// NewAlarm schedules fire to first run at virtual instant first and then,
+// if interval > 0, to repeat every interval until canceled.
+func NewAlarm(loop *Loop, first, interval time.Duration, fire Event) *Alarm {
+	a := &Alarm{loop: loop, interval: interval, fire: fire}
+	loop.Schedule(first, a.run)
+	return a
+}
+
+func (a *Alarm) run(now time.Duration) {
+	if a.canceled {
+		return
+	}
+	a.fire(now)
+	if a.canceled || a.interval <= 0 {
+		return
+	}
+	a.loop.Schedule(now+a.interval, a.run)
+}
+
+// SetInterval changes the repeat interval applied after the next firing.
+// NetEase-style adaptive heartbeats use this to double their cycle.
+func (a *Alarm) SetInterval(interval time.Duration) { a.interval = interval }
+
+// Interval returns the current repeat interval.
+func (a *Alarm) Interval() time.Duration { return a.interval }
+
+// Cancel stops the alarm; pending firings become no-ops.
+func (a *Alarm) Cancel() { a.canceled = true }

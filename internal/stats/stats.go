@@ -1,0 +1,97 @@
+// Package stats provides the small summary-statistics toolkit the
+// experiments use when aggregating across seeds: mean, standard deviation,
+// median, extrema and a normal-approximation 95% confidence interval.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned when a summary of no samples is requested.
+var ErrEmpty = errors.New("stats: no samples")
+
+// Summary describes a sample set.
+type Summary struct {
+	// N is the sample count.
+	N int
+	// Mean is the arithmetic mean.
+	Mean float64
+	// StdDev is the sample (n−1) standard deviation; 0 for N < 2.
+	StdDev float64
+	// Median is the 50th percentile.
+	Median float64
+	// Min and Max are the extrema.
+	Min, Max float64
+	// CI95 is the half-width of the normal-approximation 95% confidence
+	// interval of the mean.
+	CI95 float64
+}
+
+// Summarize computes a Summary of the samples.
+func Summarize(samples []float64) (Summary, error) {
+	if len(samples) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	s := Summary{N: len(samples)}
+	sum := 0.0
+	s.Min = samples[0]
+	s.Max = samples[0]
+	for _, v := range samples {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(s.N)
+
+	if s.N > 1 {
+		acc := 0.0
+		for _, v := range samples {
+			d := v - s.Mean
+			acc += d * d
+		}
+		s.StdDev = math.Sqrt(acc / float64(s.N-1))
+		s.CI95 = 1.96 * s.StdDev / math.Sqrt(float64(s.N))
+	}
+
+	sorted := make([]float64, s.N)
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	mid := s.N / 2
+	if s.N%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s, nil
+}
+
+// Percentile returns the p-th percentile (0–100) by nearest-rank on a copy
+// of the samples.
+func Percentile(samples []float64, p float64) (float64, error) {
+	if len(samples) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	sorted := make([]float64, len(samples))
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank], nil
+}

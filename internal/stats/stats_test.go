@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s, err := Summarize([]float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 1 || s.Mean != 5 || s.Median != 5 || s.Min != 5 || s.Max != 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.StdDev != 0 || s.CI95 != 0 {
+		t.Fatalf("single-sample spread nonzero: %+v", s)
+	}
+}
+
+func TestSummarizeKnownValues(t *testing.T) {
+	s, err := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mean != 5 {
+		t.Fatalf("mean = %v, want 5", s.Mean)
+	}
+	// Sample stddev with n−1 = 7: sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.StdDev-want) > 1e-12 {
+		t.Fatalf("stddev = %v, want %v", s.StdDev, want)
+	}
+	if s.Median != 4.5 {
+		t.Fatalf("median = %v, want 4.5", s.Median)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("extrema = %v..%v", s.Min, s.Max)
+	}
+}
+
+func TestMedianOdd(t *testing.T) {
+	s, err := Summarize([]float64{9, 1, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Median != 5 {
+		t.Fatalf("median = %v, want 5", s.Median)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	samples := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {10, 1}, {50, 5}, {90, 9}, {100, 10}, {150, 10}, {-5, 1},
+	}
+	for _, tt := range tests {
+		got, err := Percentile(samples, tt.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tt.want {
+			t.Fatalf("P%v = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); !errors.Is(err, ErrEmpty) {
+		t.Fatal("empty percentile accepted")
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	if _, err := Summarize(in); err != nil {
+		t.Fatal(err)
+	}
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
+
+// Property: min ≤ median ≤ max and min ≤ mean ≤ max.
+func TestSummaryOrderingProperty(t *testing.T) {
+	prop := func(raw []float64) bool {
+		samples := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			// Restrict to magnitudes whose sums cannot overflow; the
+			// package summarizes joules and seconds, not float64 extremes.
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				samples = append(samples, v)
+			}
+		}
+		if len(samples) == 0 {
+			return true
+		}
+		s, err := Summarize(samples)
+		if err != nil {
+			return false
+		}
+		return s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

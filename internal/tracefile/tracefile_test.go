@@ -1,0 +1,133 @@
+package tracefile
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"etrain/internal/bandwidth"
+	"etrain/internal/radio"
+	"etrain/internal/randx"
+	"etrain/internal/workload"
+)
+
+func TestUserTraceRoundTrip(t *testing.T) {
+	records := workload.SynthesizeUser(randx.New(1), "u42", workload.ClassModerate)
+	var sb strings.Builder
+	if err := WriteUserTrace(&sb, records); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadUserTrace(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(records) {
+		t.Fatalf("round trip lost records: %d -> %d", len(records), len(got))
+	}
+	for i := range records {
+		if got[i].UserID != records[i].UserID ||
+			got[i].Behavior != records[i].Behavior ||
+			got[i].Size != records[i].Size {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, got[i], records[i])
+		}
+		diff := got[i].At - records[i].At
+		if diff < -time.Millisecond || diff > time.Millisecond {
+			t.Fatalf("record %d time drift %v", i, diff)
+		}
+	}
+}
+
+func TestReadUserTraceEmpty(t *testing.T) {
+	got, err := ReadUserTrace(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nil {
+		t.Fatalf("empty trace = %v, want nil", got)
+	}
+}
+
+func TestReadUserTraceRejectsBadRows(t *testing.T) {
+	cases := []string{
+		"user_id,behavior,time_s,size_bytes\nu1,flying,1.0,100\n",
+		"user_id,behavior,time_s,size_bytes\nu1,upload,xx,100\n",
+		"user_id,behavior,time_s,size_bytes\nu1,upload,1.0,xx\n",
+	}
+	for i, c := range cases {
+		if _, err := ReadUserTrace(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d parsed", i)
+		}
+	}
+}
+
+func TestBandwidthTraceRoundTrip(t *testing.T) {
+	orig, err := bandwidth.Synthesize(randx.New(2), 120*time.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteBandwidthTrace(&sb, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBandwidthTrace(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != orig.Len() {
+		t.Fatalf("lengths differ: %d vs %d", got.Len(), orig.Len())
+	}
+	a, b := orig.Samples(), got.Samples()
+	for i := range a {
+		diff := a[i] - b[i]
+		if diff < -0.1 || diff > 0.1 {
+			t.Fatalf("sample %d drifted: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTransmissionLogRoundTrip(t *testing.T) {
+	tl := &radio.Timeline{}
+	txs := []radio.Transmission{
+		{Start: time.Second, TxTime: 100 * time.Millisecond, Size: 74, Kind: radio.TxHeartbeat, App: "wechat"},
+		{Start: 5 * time.Second, TxTime: 300 * time.Millisecond, Size: 5120, Kind: radio.TxData, App: "mail"},
+	}
+	for _, tx := range txs {
+		if err := tl.Append(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sb strings.Builder
+	if err := WriteTransmissionLog(&sb, tl); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTransmissionLog(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gtx := got.Transmissions()
+	if len(gtx) != len(txs) {
+		t.Fatalf("round trip lost transmissions: %d -> %d", len(txs), len(gtx))
+	}
+	for i := range txs {
+		if gtx[i].Size != txs[i].Size || gtx[i].Kind != txs[i].Kind || gtx[i].App != txs[i].App {
+			t.Fatalf("transmission %d mismatch: %+v vs %+v", i, gtx[i], txs[i])
+		}
+	}
+}
+
+func TestReadTransmissionLogRejectsUnknownKind(t *testing.T) {
+	in := "start_s,duration_s,size_bytes,kind,app\n1.0,0.1,100,carrier-pigeon,x\n"
+	if _, err := ReadTransmissionLog(strings.NewReader(in)); err == nil {
+		t.Fatal("unknown kind parsed")
+	}
+}
+
+func TestReadTransmissionLogEmpty(t *testing.T) {
+	got, err := ReadTransmissionLog(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("empty log yielded %d transmissions", got.Len())
+	}
+}

@@ -1,0 +1,24 @@
+package etrain
+
+import "etrain/internal/offline"
+
+// The paper's offline optimization framework (§III): with perfect knowledge
+// of arrivals and train departures, the tail-energy-minimal schedule is an
+// NP-hard generalization of Knapsack. The exact solver below handles small
+// instances and exists to measure the online algorithm's optimality gap.
+type (
+	// OfflineInstance is one offline scheduling problem: a train
+	// timetable, a packet set, the radio model and an optional total
+	// delay-cost budget (constraint (4)).
+	OfflineInstance = offline.Instance
+	// OfflineSchedule is a solved schedule with its energy and total cost.
+	OfflineSchedule = offline.Schedule
+)
+
+// OfflineSolve finds the minimum-energy schedule of a small instance by
+// branch and bound over candidate event points.
+var OfflineSolve = offline.Solve
+
+// OfflineLowerBound returns the beats-only energy, which no feasible
+// schedule can beat.
+var OfflineLowerBound = offline.LowerBound

@@ -1,0 +1,42 @@
+package etrain
+
+import (
+	"etrain/internal/randx"
+	"etrain/internal/workload"
+)
+
+// User behavior traces in the paper's four-element format
+// (User ID, Behavior type, Time, Packet Size), and the activeness classes
+// of the Fig. 11 experiment.
+type (
+	// BehaviorRecord is one entry of a user trace.
+	BehaviorRecord = workload.BehaviorRecord
+	// Behavior is the type of a recorded user action.
+	Behavior = workload.Behavior
+	// ActivenessClass buckets users by uploads per app use.
+	ActivenessClass = workload.ActivenessClass
+)
+
+// Behavior types and activeness classes.
+const (
+	BehaviorUpload   = workload.BehaviorUpload
+	BehaviorDownload = workload.BehaviorDownload
+	BehaviorBrowse   = workload.BehaviorBrowse
+
+	ClassActive   = workload.ClassActive
+	ClassModerate = workload.ClassModerate
+	ClassInactive = workload.ClassInactive
+)
+
+// SessionLength is the paper's 10-minute app-use window.
+const SessionLength = workload.SessionLength
+
+// SynthesizeUserTrace generates a deterministic 10-minute user session of
+// the requested activeness class (active >20 uploads, moderate 10–20,
+// inactive <10).
+func SynthesizeUserTrace(seed int64, userID string, class ActivenessClass) []BehaviorRecord {
+	return workload.SynthesizeUser(randx.New(seed), userID, class)
+}
+
+// ClassifyUser buckets a trace by its upload-event count.
+var ClassifyUser = workload.Classify

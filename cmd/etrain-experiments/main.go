@@ -2,9 +2,13 @@
 //
 // Usage:
 //
-//	etrain-experiments            # run everything
-//	etrain-experiments -run fig7a # run one experiment
-//	etrain-experiments -list      # list experiment IDs and claims
+//	etrain-experiments             # run everything, one worker per CPU
+//	etrain-experiments -run fig7a  # run one experiment
+//	etrain-experiments -parallel 1 # force sequential execution
+//	etrain-experiments -list       # list experiment IDs and claims
+//
+// Output is bit-identical at every -parallel setting: each simulation
+// run's randomness is derived from its identity, not execution order.
 package main
 
 import (
@@ -13,6 +17,8 @@ import (
 	"os"
 
 	"etrain/internal/experiments"
+	"etrain/internal/parallel"
+	"etrain/internal/sim"
 )
 
 func main() {
@@ -29,6 +35,7 @@ func run() error {
 		list      = flag.Bool("list", false, "list available experiments and exit")
 		ablations = flag.Bool("ablations", false, "include the design-choice ablation studies")
 		format    = flag.String("format", "text", "output format: text | markdown")
+		workers   = flag.Int("parallel", -1, "simulation worker count (1 = sequential, <= 0 = one per CPU)")
 	)
 	flag.Parse()
 
@@ -42,7 +49,20 @@ func run() error {
 		return nil
 	}
 
-	opts := experiments.Options{Seed: *seed}
+	switch *format {
+	case "markdown", "text":
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+
+	w := parallel.Workers(*workers)
+	opts := experiments.Options{
+		Seed:    *seed,
+		Workers: w,
+		// One shared runner: every experiment draws on the same worker
+		// budget and result cache (overlapping grids run once).
+		Runner: sim.NewRunner(w),
+	}
 	var entries []experiments.Entry
 	if *id == "all" {
 		entries = experiments.All()
@@ -56,25 +76,32 @@ func run() error {
 		}
 		entries = []experiments.Entry{entry}
 	}
-	for _, e := range entries {
-		tbl, err := e.Run(opts)
-		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
+
+	// Run the batch across the pool, then print in registry order. A
+	// failed experiment reports its error without killing the rest.
+	results := experiments.RunAll(entries, opts)
+	failed := 0
+	for _, r := range results {
+		if r.Err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "etrain-experiments: %s failed: %v\n", r.Entry.ID, r.Err)
+			continue
 		}
 		switch *format {
 		case "markdown":
-			fmt.Printf("**Paper claim:** %s\n\n", e.Claim)
-			if err := tbl.Markdown(os.Stdout); err != nil {
+			fmt.Printf("**Paper claim:** %s\n\n", r.Entry.Claim)
+			if err := r.Table.Markdown(os.Stdout); err != nil {
 				return err
 			}
 		case "text":
-			fmt.Printf("paper claim: %s\n", e.Claim)
-			if err := tbl.Fprint(os.Stdout); err != nil {
+			fmt.Printf("paper claim: %s\n", r.Entry.Claim)
+			if err := r.Table.Fprint(os.Stdout); err != nil {
 				return err
 			}
-		default:
-			return fmt.Errorf("unknown format %q", *format)
 		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d experiments failed", failed, len(results))
 	}
 	return nil
 }

@@ -1,19 +1,25 @@
 // Command etrain-sim runs a single trace-driven simulation and prints its
-// energy/delay metrics.
+// energy/delay metrics, or sweeps the strategy's control parameter across
+// a worker pool.
 //
 // Usage:
 //
 //	etrain-sim -strategy etrain -theta 2
 //	etrain-sim -strategy etime -v 8 -lambda 0.12
+//	etrain-sim -strategy etrain -sweep 0,0.5,1,2,4 -parallel 4
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"etrain"
+	"etrain/internal/sim"
 )
 
 func main() {
@@ -33,6 +39,8 @@ func run() error {
 		lambda   = flag.Float64("lambda", 0.08, "total cargo arrival rate (packets/s)")
 		horizon  = flag.Duration("horizon", 2*time.Hour, "simulated span")
 		seed     = flag.Int64("seed", 5, "random seed")
+		sweep    = flag.String("sweep", "", "comma-separated control values (Θ/Ω/V) to sweep instead of a single run")
+		workers  = flag.Int("parallel", 0, "sweep worker count (0 = one per CPU, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -53,14 +61,22 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	res, err := etrain.Simulate(etrain.SimConfig{
+	cfg := etrain.SimConfig{
 		Seed:    *seed,
 		Horizon: *horizon,
 		Cargo:   cargo,
 		Strategy: etrain.StrategyConfig{
 			Kind: kind, Theta: *theta, K: *k, Omega: *omega, V: *v,
 		},
-	})
+	}
+	if *sweep != "" {
+		controls, err := parseControls(*sweep)
+		if err != nil {
+			return err
+		}
+		return runSweep(cfg, controls, *workers)
+	}
+	res, err := etrain.Simulate(cfg)
 	if err != nil {
 		return err
 	}
@@ -74,4 +90,44 @@ func run() error {
 	fmt.Printf("normalized delay     %.1f s\n", res.NormalizedDelay.Seconds())
 	fmt.Printf("deadline violations  %.1f%%\n", res.DeadlineViolationRatio*100)
 	return nil
+}
+
+// parseControls splits a comma-separated control list.
+func parseControls(s string) ([]float64, error) {
+	var controls []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad control value %q: %w", part, err)
+		}
+		controls = append(controls, v)
+	}
+	if len(controls) == 0 {
+		return nil, errors.New("-sweep given but no control values parsed")
+	}
+	return controls, nil
+}
+
+// runSweep fans the sweep across the worker pool and prints the E–D panel.
+// Failed points are reported per control value; the surviving panel still
+// prints.
+func runSweep(cfg etrain.SimConfig, controls []float64, workers int) error {
+	points, err := etrain.Sweep(cfg, controls, workers)
+	fmt.Printf("%-10s  %-10s  %-10s  %-10s\n", "control", "energy_J", "delay_s", "violation")
+	for _, p := range points {
+		fmt.Printf("%-10.3g  %-10.1f  %-10.1f  %-10.3f\n",
+			p.Control, p.EnergyJoules, p.Delay.Seconds(), p.ViolationRatio)
+	}
+	var se *sim.SweepError
+	if errors.As(err, &se) && len(points) > 0 {
+		for _, f := range se.Failures {
+			fmt.Fprintf(os.Stderr, "etrain-sim: point control=%g failed: %v\n", f.Control, f.Err)
+		}
+		return nil
+	}
+	return err
 }

@@ -238,32 +238,7 @@ type SimResult struct {
 
 // Simulate runs the paper's trace-driven simulation.
 func Simulate(cfg SimConfig) (*SimResult, error) {
-	src := randx.New(cfg.Seed)
-	horizon := cfg.Horizon
-	if horizon == 0 {
-		horizon = 7200 * time.Second
-	}
-	trains := cfg.Trains
-	if trains == nil {
-		trains = DefaultTrains()
-	}
-	cargo := cfg.Cargo
-	if cargo == nil {
-		cargo = DefaultCargo()
-	}
-	power := cfg.Power
-	if power == (PowerModel{}) {
-		power = GalaxyS43G()
-	}
-	bw := cfg.Bandwidth
-	if bw == nil {
-		var err error
-		bw, err = bandwidth.Synthesize(src.Split(), horizon, nil)
-		if err != nil {
-			return nil, err
-		}
-	}
-	packets, err := workload.Generate(src.Split(), cargo, horizon)
+	simCfg, err := buildSimInputs(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -271,15 +246,7 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	simCfg := sim.Config{
-		Horizon:   horizon,
-		Trains:    trains,
-		Packets:   packets,
-		Bandwidth: bw,
-		Power:     power,
-		Strategy:  strategy,
-		Estimator: bandwidth.NewEstimator(bw, src.Split(), time.Second, 0.3),
-	}
+	simCfg.Strategy = strategy
 	res, err := sim.Run(simCfg)
 	if err != nil {
 		return nil, err
@@ -303,4 +270,115 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 // emulating the paper's bus-and-campus collection run.
 func SynthesizeBandwidth(seed int64, duration time.Duration) (*BandwidthTrace, error) {
 	return bandwidth.Synthesize(randx.New(seed), duration, nil)
+}
+
+// EDPoint is one point on an energy–delay panel: the control value that
+// produced it plus the run's energy, normalized delay and deadline
+// violation ratio.
+type EDPoint = sim.EDPoint
+
+// buildSimInputs assembles the internal simulation config from a SimConfig
+// minus the strategy, which sweeps supply per control value.
+func buildSimInputs(cfg SimConfig) (sim.Config, error) {
+	src := randx.New(cfg.Seed)
+	horizon := cfg.Horizon
+	if horizon == 0 {
+		horizon = 7200 * time.Second
+	}
+	trains := cfg.Trains
+	if trains == nil {
+		trains = DefaultTrains()
+	}
+	cargo := cfg.Cargo
+	if cargo == nil {
+		cargo = DefaultCargo()
+	}
+	power := cfg.Power
+	if power == (PowerModel{}) {
+		power = GalaxyS43G()
+	}
+	bw := cfg.Bandwidth
+	synthetic := bw == nil
+	if synthetic {
+		var err error
+		bw, err = bandwidth.Synthesize(src.Split(), horizon, nil)
+		if err != nil {
+			return sim.Config{}, err
+		}
+	}
+	packets, err := workload.Generate(src.Split(), cargo, horizon)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	simCfg := sim.Config{
+		Horizon:   horizon,
+		Trains:    trains,
+		Packets:   packets,
+		Bandwidth: bw,
+		Power:     power,
+		Estimator: bandwidth.NewEstimator(bw, src.Split(), time.Second, 0.3),
+		Seed:      cfg.Seed,
+	}
+	if synthetic && cfg.Trains == nil && cfg.Cargo == nil && cfg.Power == (PowerModel{}) {
+		// Fully derived from (seed, horizon): safe to name for the
+		// runner's cross-sweep result cache.
+		simCfg.CacheKey = fmt.Sprintf("etrain-api/seed=%d/horizon=%s", cfg.Seed, horizon)
+	}
+	return simCfg, nil
+}
+
+// sweepFactory names the control parameter of cfg.Strategy's kind and
+// returns the keyed factory sweeping it: Θ for eTrain (K preserved), Ω for
+// PerES, V for eTime. The baseline has no control and cannot be swept.
+func sweepFactory(cfg StrategyConfig) (sim.KeyedFactory, error) {
+	kind := cfg.Kind
+	if kind == 0 {
+		kind = StrategyETrain
+	}
+	switch kind {
+	case StrategyETrain, StrategyETrainPredictive:
+		return sim.Keyed(fmt.Sprintf("%s/k=%d", kind, cfg.K), func(theta float64) (sched.Strategy, error) {
+			c := cfg
+			c.Kind = kind
+			c.Theta = theta
+			return c.build()
+		}), nil
+	case StrategyPerES:
+		return sim.Keyed("peres", func(omega float64) (sched.Strategy, error) {
+			c := cfg
+			c.Omega = omega
+			return c.build()
+		}), nil
+	case StrategyETime:
+		return sim.Keyed("etime", func(v float64) (sched.Strategy, error) {
+			c := cfg
+			c.V = v
+			return c.build()
+		}), nil
+	default:
+		return sim.KeyedFactory{}, fmt.Errorf("etrain: strategy %s has no control parameter to sweep", kind)
+	}
+}
+
+// Sweep runs the simulation once per control value of the configured
+// strategy's tuning parameter (Θ, Ω or V) and returns the E–D points in
+// input order. Workers bounds how many runs execute concurrently (<= 1
+// sequential, 0 or negative meaning one per CPU); results are
+// bit-identical at every setting because each run's randomness is derived
+// from (seed, strategy, control), never from execution order. Failed
+// points are reported through a *sim.SweepError alongside the surviving
+// points.
+func Sweep(cfg SimConfig, controls []float64, workers int) ([]EDPoint, error) {
+	simCfg, err := buildSimInputs(cfg)
+	if err != nil {
+		return nil, err
+	}
+	factory, err := sweepFactory(cfg.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	if workers == 0 {
+		workers = -1 // the exported default is one worker per CPU
+	}
+	return sim.NewRunner(workers).Sweep(simCfg, factory, controls)
 }

@@ -106,6 +106,15 @@ func NewEstimator(trace *Trace, src *randx.Source, lag time.Duration, noise floa
 	return &Estimator{trace: trace, src: src, Lag: lag, NoiseStdDev: noise}
 }
 
+// Reseeded returns a copy of the estimator drawing its noise from src,
+// leaving the receiver untouched. Sweep runners hand every simulation run
+// its own reseeded copy so that (a) concurrent runs never race on one
+// shared noise stream and (b) a run's estimates depend only on the run's
+// identity, never on how many estimates earlier runs consumed.
+func (e *Estimator) Reseeded(src *randx.Source) *Estimator {
+	return &Estimator{trace: e.trace, src: src, Lag: e.Lag, NoiseStdDev: e.NoiseStdDev}
+}
+
 // Estimate returns the strategy-visible bandwidth estimate for time at.
 func (e *Estimator) Estimate(at time.Duration) float64 {
 	truth := e.trace.At(at - e.Lag)

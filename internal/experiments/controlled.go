@@ -8,6 +8,7 @@ import (
 	"etrain/internal/bandwidth"
 	"etrain/internal/core"
 	"etrain/internal/heartbeat"
+	"etrain/internal/parallel"
 	"etrain/internal/profile"
 	"etrain/internal/radio"
 	"etrain/internal/randx"
@@ -207,17 +208,22 @@ func Fig10b(opts Options) (*Table, error) {
 		Title:   "Impact of the cost bound Θ (controlled, 3 trains + 3 cargos)",
 		Columns: []string{"theta", "total_J", "avg_delay_s", "violation"},
 	}
-	for _, theta := range []float64{0.1, 0.2, 0.3, 0.4, 0.5} {
+	thetas := []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+	rows, err := parallel.Map(opts.limit(), len(thetas), func(i int) ([]string, error) {
 		run, err := runControlled(controlledSpec{
 			seed: opts.Seed, horizon: horizon, trains: heartbeat.DefaultTrio(),
-			theta: theta, k: 20, withSched: true, packets: packets,
+			theta: thetas[i], k: 20, withSched: true, packets: packets,
 		})
 		if err != nil {
 			return nil, err
 		}
-		tbl.AddRow(fmt.Sprintf("%.1f", theta), run.TotalJ,
-			run.AvgDelay.Seconds(), fmt.Sprintf("%.3f", run.Violations))
+		return formatRow(fmt.Sprintf("%.1f", thetas[i]), run.TotalJ,
+			run.AvgDelay.Seconds(), fmt.Sprintf("%.3f", run.Violations)), nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fig10b: %w", err)
 	}
+	tbl.Rows = rows
 	tbl.AddNote("paper Fig. 10b: energy ~1200 -> ~850 J (~30%% down), delay 48 -> 62 s as Θ grows")
 	return tbl, nil
 }
@@ -231,8 +237,10 @@ func Fig10c(opts Options) (*Table, error) {
 		Title:   "Impact of the delay cost function deadline (shared by all cargo apps)",
 		Columns: []string{"deadline_s", "energy_J", "delay_s", "violation"},
 	}
-	for _, deadline := range []time.Duration{10 * time.Second, 30 * time.Second,
-		60 * time.Second, 90 * time.Second, 120 * time.Second, 180 * time.Second} {
+	deadlines := []time.Duration{10 * time.Second, 30 * time.Second,
+		60 * time.Second, 90 * time.Second, 120 * time.Second, 180 * time.Second}
+	rows, err := parallel.Map(opts.limit(), len(deadlines), func(i int) ([]string, error) {
+		deadline := deadlines[i]
 		cfg, err := buildSimConfig(opts, 0.08)
 		if err != nil {
 			return nil, err
@@ -255,9 +263,13 @@ func Fig10c(opts Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		tbl.AddRow(fmt.Sprintf("%.0f", deadline.Seconds()), res.Energy.Total(),
-			res.NormalizedDelay().Seconds(), fmt.Sprintf("%.3f", res.DeadlineViolationRatio()))
+		return formatRow(fmt.Sprintf("%.0f", deadline.Seconds()), res.Energy.Total(),
+			res.NormalizedDelay().Seconds(), fmt.Sprintf("%.3f", res.DeadlineViolationRatio())), nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fig10c: %w", err)
 	}
+	tbl.Rows = rows
 	tbl.AddNote("paper Fig. 10c: a larger deadline lets packets wait for piggybacking opportunities, achieving an energy-delay tradeoff similar to Θ's")
 	return tbl, nil
 }
@@ -278,26 +290,33 @@ func Fig11(opts Options) (*Table, error) {
 		Columns: []string{"class", "uploads", "without_J", "with_J", "saved_J", "saving"},
 	}
 	src := randx.New(opts.Seed + 3)
+	limit := opts.limit()
 	for _, class := range []workload.ActivenessClass{
 		workload.ClassActive, workload.ClassModerate, workload.ClassInactive,
 	} {
-		var withoutJ, withJ float64
+		// Trace synthesis stays sequential (it consumes the shared seed
+		// stream in user order); the 2×usersPerClass device replays are
+		// independent and fan out across the pool.
+		traces := make([][]workload.BehaviorRecord, usersPerClass)
 		uploads := 0
 		for u := 0; u < usersPerClass; u++ {
-			trace := workload.SynthesizeUser(src.Split(), fmt.Sprintf("%s-%d", class, u), class)
-			for _, r := range trace {
+			traces[u] = workload.SynthesizeUser(src.Split(), fmt.Sprintf("%s-%d", class, u), class)
+			for _, r := range traces[u] {
 				if r.Behavior == workload.BehaviorUpload {
 					uploads++
 				}
 			}
-			packets := workload.PacketsFromTrace(trace, sessionProfile)
+		}
+		type pair struct{ withoutJ, withJ float64 }
+		pairs, err := parallel.Map(limit, usersPerClass, func(u int) (pair, error) {
+			packets := workload.PacketsFromTrace(traces[u], sessionProfile)
 			seed := opts.Seed + int64(u)
 			without, err := runControlled(controlledSpec{
 				seed: seed, horizon: workload.SessionLength,
 				trains: heartbeat.DefaultTrio(), withSched: false, packets: packets,
 			})
 			if err != nil {
-				return nil, err
+				return pair{}, err
 			}
 			with, err := runControlled(controlledSpec{
 				seed: seed, horizon: workload.SessionLength,
@@ -305,10 +324,17 @@ func Fig11(opts Options) (*Table, error) {
 				withSched: true, packets: packets,
 			})
 			if err != nil {
-				return nil, err
+				return pair{}, err
 			}
-			withoutJ += without.TotalJ
-			withJ += with.TotalJ
+			return pair{withoutJ: without.TotalJ, withJ: with.TotalJ}, nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig11 class %s: %w", class, err)
+		}
+		var withoutJ, withJ float64
+		for _, p := range pairs {
+			withoutJ += p.withoutJ
+			withJ += p.withJ
 		}
 		saving := 0.0
 		if withoutJ > 0 {

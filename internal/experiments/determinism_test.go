@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"etrain/internal/sim"
+)
+
+// renderAll runs every given experiment at the given worker count and
+// renders each table to text, keyed by ID. A shared runner mirrors how the
+// CLI executes the registry.
+func renderAll(t *testing.T, entries []Entry, workers int) map[string]string {
+	t.Helper()
+	opts := Options{
+		Seed: 5,
+		// A reduced horizon keeps two full registry passes affordable.
+		// 5400 s is the floor: table1's cycle detector needs to see the
+		// 1800 s APNS heartbeat repeat.
+		Horizon: 5400 * time.Second,
+		Workers: workers,
+		Runner:  sim.NewRunner(workers),
+	}
+	out := make(map[string]string, len(entries))
+	for _, r := range RunAll(entries, opts) {
+		if r.Err != nil {
+			t.Fatalf("workers=%d: %s failed: %v", workers, r.Entry.ID, r.Err)
+		}
+		var buf bytes.Buffer
+		if err := r.Table.Fprint(&buf); err != nil {
+			t.Fatal(err)
+		}
+		out[r.Entry.ID] = buf.String()
+	}
+	return out
+}
+
+// TestRegistryDeterministicUnderParallelism is the PR's acceptance check
+// at the experiments layer: every registry experiment plus every ablation,
+// rendered sequentially and on an 8-worker pool, must be byte-identical.
+func TestRegistryDeterministicUnderParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full registry passes; skipped in -short")
+	}
+	entries := append(All(), Ablations()...)
+	seq := renderAll(t, entries, 1)
+	par := renderAll(t, entries, 8)
+	if len(seq) != len(par) {
+		t.Fatalf("sequential produced %d tables, parallel %d", len(seq), len(par))
+	}
+	for id, want := range seq {
+		got, ok := par[id]
+		if !ok {
+			t.Errorf("%s missing from parallel run", id)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s diverged under -parallel 8:\n--- sequential ---\n%s--- parallel ---\n%s", id, want, got)
+		}
+	}
+}
+
+// TestSweepGridDeterministicAcrossWorkerCounts crosses a Θ×k grid through
+// the shared-runner path the experiments use, comparing every worker count
+// against the sequential reference.
+func TestSweepGridDeterministicAcrossWorkerCounts(t *testing.T) {
+	opts := Options{Seed: 7, Horizon: 900 * time.Second}
+	cfg, err := buildSimConfig(opts, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thetas := []float64{0, 0.5, 1, 2}
+	ks := []int{8, 20}
+
+	type grid map[int][]sim.EDPoint
+	sweepAll := func(workers int) grid {
+		r := sim.NewRunner(workers)
+		out := grid{}
+		for _, k := range ks {
+			points, err := r.Sweep(cfg, etrainFactory(k), thetas)
+			if err != nil {
+				t.Fatalf("workers=%d k=%d: %v", workers, k, err)
+			}
+			out[k] = points
+		}
+		return out
+	}
+
+	ref := sweepAll(1)
+	for _, workers := range []int{2, 8} {
+		got := sweepAll(workers)
+		for _, k := range ks {
+			for i := range ref[k] {
+				if got[k][i] != ref[k][i] {
+					t.Fatalf("workers=%d k=%d Θ=%v diverged:\nseq: %+v\npar: %+v",
+						workers, k, thetas[i], ref[k][i], got[k][i])
+				}
+			}
+		}
+	}
+}

@@ -1,6 +1,11 @@
 package experiments
 
-import "fmt"
+import (
+	"fmt"
+
+	"etrain/internal/parallel"
+	"etrain/internal/sim"
+)
 
 // Runner regenerates one figure or table.
 type Runner func(Options) (*Table, error)
@@ -34,6 +39,39 @@ func All() []Entry {
 		{"fig10c", "larger shared deadlines save more energy", Fig10c},
 		{"fig11", "active users save the most energy (23.1% vs 13.3%)", Fig11},
 	}
+}
+
+// Result pairs an entry with its outcome.
+type Result struct {
+	// Entry identifies the experiment.
+	Entry Entry
+	// Table is the regenerated figure (nil when Err is set).
+	Table *Table
+	// Err is the experiment's failure, if any.
+	Err error
+}
+
+// RunAll executes the given experiments across the options' worker budget
+// and returns one result per entry, in input order regardless of
+// scheduling. All entries share one runner (opts.Runner, or a fresh one
+// sized by opts.Workers), so overlapping sweep grids and repeated
+// calibration probes are computed once across the whole batch. Failures
+// are aggregated per entry: one failed experiment reports its error
+// without killing the rest.
+func RunAll(entries []Entry, opts Options) []Result {
+	if opts.Runner == nil {
+		opts.Runner = sim.NewRunner(opts.workersOr1())
+	}
+	results := make([]Result, len(entries))
+	// Entry-level fan-out gets its own pool (parallel.Limit is not
+	// reentrant); the shared runner's leaf semaphore keeps the total
+	// number of simulations in flight bounded anyway.
+	_ = parallel.ForEach(opts.limit(), len(entries), func(i int) error {
+		tbl, err := entries[i].Run(opts)
+		results[i] = Result{Entry: entries[i], Table: tbl, Err: err}
+		return nil
+	})
+	return results
 }
 
 // ByID returns the entry with the given ID, searching both the paper's

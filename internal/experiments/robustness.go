@@ -5,6 +5,7 @@ import (
 
 	"etrain/internal/baseline"
 	"etrain/internal/core"
+	"etrain/internal/parallel"
 	"etrain/internal/sched"
 	"etrain/internal/sim"
 	"etrain/internal/stats"
@@ -42,24 +43,31 @@ func SeedRobustness(opts Options) (*Table, error) {
 		}},
 	}
 
-	energies := make(map[string][]float64, len(configs))
-	for s := 0; s < seeds; s++ {
-		for _, c := range configs {
-			cfg, err := buildSimConfig(Options{Seed: opts.Seed + int64(s)}, 0.08)
-			if err != nil {
-				return nil, err
-			}
-			strategy, err := c.build()
-			if err != nil {
-				return nil, err
-			}
-			cfg.Strategy = strategy
-			res, err := sim.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			energies[c.name] = append(energies[c.name], res.Energy.Total())
+	// One job per (seed, strategy) pair; results are slotted by index so
+	// the aggregation below is order-independent of the scheduling.
+	perRun, err := parallel.Map(opts.limit(), seeds*len(configs), func(i int) (float64, error) {
+		s, c := i/len(configs), configs[i%len(configs)]
+		cfg, err := buildSimConfig(Options{Seed: opts.Seed + int64(s), Horizon: opts.Horizon}, 0.08)
+		if err != nil {
+			return 0, err
 		}
+		strategy, err := c.build()
+		if err != nil {
+			return 0, err
+		}
+		cfg.Strategy = strategy
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return 0, err
+		}
+		return res.Energy.Total(), nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("seed robustness: %w", err)
+	}
+	energies := make(map[string][]float64, len(configs))
+	for i, e := range perRun {
+		energies[configs[i%len(configs)].name] = append(energies[configs[i%len(configs)].name], e)
 	}
 
 	for _, c := range configs {

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"fmt"
 	"time"
 
 	"etrain/internal/bandwidth"
 	"etrain/internal/heartbeat"
+	"etrain/internal/parallel"
 	"etrain/internal/profile"
 	"etrain/internal/radio"
 	"etrain/internal/randx"
@@ -35,10 +37,22 @@ func defaultProfileTriple(deadline time.Duration) []profile.Profile {
 
 // Options configures an experiment run.
 type Options struct {
-	// Seed drives all randomness; equal seeds reproduce exactly.
+	// Seed drives all randomness; equal seeds reproduce exactly,
+	// regardless of Workers.
 	Seed int64
 	// Horizon overrides the experiment's default simulated span.
 	Horizon time.Duration
+	// Workers bounds how many simulation runs execute concurrently:
+	// 1 (or 0) runs sequentially, n > 1 fans runs across n workers, and
+	// negative values mean one worker per CPU. Results are bit-identical
+	// at every setting.
+	Workers int
+	// Runner, when non-nil, executes this experiment's sweeps and
+	// calibrations; sharing one Runner across experiments shares its
+	// worker budget and its result cache (overlapping grids are computed
+	// once). When nil, each experiment builds a private runner from
+	// Workers.
+	Runner *sim.Runner
 }
 
 func (o Options) horizonOr(def time.Duration) time.Duration {
@@ -46,6 +60,35 @@ func (o Options) horizonOr(def time.Duration) time.Duration {
 		return o.Horizon
 	}
 	return def
+}
+
+// workersOr1 resolves Options.Workers with sequential (not GOMAXPROCS) as
+// the zero default, so plain Options{} keeps the historical behavior.
+func (o Options) workersOr1() int {
+	switch {
+	case o.Workers == 0:
+		return 1
+	case o.Workers < 0:
+		return parallel.Workers(0)
+	default:
+		return o.Workers
+	}
+}
+
+// runner returns the experiment's executor: the shared one when set, a
+// private one sized by Workers otherwise.
+func (o Options) runner() *sim.Runner {
+	if o.Runner != nil {
+		return o.Runner
+	}
+	return sim.NewRunner(o.workersOr1())
+}
+
+// limit returns a fan-out pool for experiment-level parallelism (λ rows,
+// per-user replays). It is distinct from the runner's leaf semaphore:
+// parallel.Limit is not reentrant, so each layer gets its own pool.
+func (o Options) limit() parallel.Limit {
+	return parallel.NewLimit(o.workersOr1())
 }
 
 // paperHorizon is the 2-hour span of the paper's simulations (the length of
@@ -80,6 +123,10 @@ func buildSimConfig(opts Options, lambda float64) (sim.Config, error) {
 		Packets:   packets,
 		Bandwidth: bw,
 		Power:     radio.GalaxyS43G(),
+		Seed:      opts.Seed,
+		// The key names everything above: trace, workload, power and span
+		// are all pure functions of (seed, horizon, lambda).
+		CacheKey: fmt.Sprintf("default-sim/seed=%d/horizon=%s/lambda=%g", opts.Seed, horizon, lambda),
 	}
 	cfg.Estimator = bandwidth.NewEstimator(bw, src.Split(), time.Second, estimatorNoise)
 	return cfg, nil

@@ -1,32 +1,60 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"etrain/internal/baseline"
 	"etrain/internal/core"
+	"etrain/internal/parallel"
 	"etrain/internal/sched"
 	"etrain/internal/sim"
 )
 
 // etrainFactory builds eTrain strategies over Θ with a fixed k.
-func etrainFactory(k int) sim.StrategyFactory {
-	return func(theta float64) (sched.Strategy, error) {
+func etrainFactory(k int) sim.KeyedFactory {
+	return sim.Keyed(fmt.Sprintf("etrain/k=%d", k), func(theta float64) (sched.Strategy, error) {
 		return core.New(core.Options{Theta: theta, K: k})
-	}
+	})
 }
 
-func peresFactory() sim.StrategyFactory {
-	return func(omega float64) (sched.Strategy, error) {
+func peresFactory() sim.KeyedFactory {
+	return sim.Keyed("peres", func(omega float64) (sched.Strategy, error) {
 		return baseline.NewPerES(baseline.DefaultPerESOptions(omega))
-	}
+	})
 }
 
-func etimeFactory() sim.StrategyFactory {
-	return func(v float64) (sched.Strategy, error) {
+func etimeFactory() sim.KeyedFactory {
+	return sim.Keyed("etime", func(v float64) (sched.Strategy, error) {
 		return baseline.NewETime(baseline.ETimeOptions{V: v})
+	})
+}
+
+// baselineFactory wraps transmit-on-arrival as a control-less sweep point
+// so baseline runs share the runner's cache (fig8a and fig8b evaluate the
+// same baseline configs).
+func baselineFactory() sim.KeyedFactory {
+	return sim.Keyed("baseline", func(float64) (sched.Strategy, error) {
+		return baseline.NewImmediate(), nil
+	})
+}
+
+// notePartial records a sweep's failed points as table notes and keeps the
+// partial panel alive. A sweep with zero surviving points, or a
+// non-sweep failure, stays fatal.
+func notePartial(tbl *Table, points []sim.EDPoint, err error) error {
+	if err == nil {
+		return nil
 	}
+	var se *sim.SweepError
+	if !errors.As(err, &se) || len(points) == 0 {
+		return err
+	}
+	for _, f := range se.Failures {
+		tbl.AddNote("sweep point control=%g failed and was dropped: %v", f.Control, f.Err)
+	}
+	return nil
 }
 
 // Fig7a reproduces the Θ sweep: Θ from 0 to 3 in steps of 0.2 with k = 20
@@ -41,24 +69,26 @@ func Fig7a(opts Options) (*Table, error) {
 	for th := 0.0; th <= 3.001; th += 0.2 {
 		thetas = append(thetas, th)
 	}
-	points, err := sim.Sweep(cfg, etrainFactory(20), thetas)
-	if err != nil {
-		return nil, err
-	}
 	tbl := &Table{
 		ID:      "fig7a",
 		Title:   "Impact of the cost bound Θ (k=20, λ=0.08)",
 		Columns: []string{"theta", "energy_J", "delay_s", "violation"},
 	}
+	points, err := opts.runner().Sweep(cfg, etrainFactory(20), thetas)
+	if err := notePartial(tbl, points, err); err != nil {
+		return nil, err
+	}
 	for _, p := range points {
 		tbl.AddRow(fmt.Sprintf("%.1f", p.Control), p.EnergyJoules,
 			p.Delay.Seconds(), fmt.Sprintf("%.3f", p.ViolationRatio))
 	}
-	first, last := points[0], points[len(points)-1]
-	tbl.AddNote("energy %.0f J -> %.0f J (%.0f%% reduction); delay %.0f s -> %.0f s (paper: >1000 -> ~600 J, 18 -> 70 s)",
-		first.EnergyJoules, last.EnergyJoules,
-		(1-last.EnergyJoules/first.EnergyJoules)*100,
-		first.Delay.Seconds(), last.Delay.Seconds())
+	if len(points) >= 2 {
+		first, last := points[0], points[len(points)-1]
+		tbl.AddNote("energy %.0f J -> %.0f J (%.0f%% reduction); delay %.0f s -> %.0f s (paper: >1000 -> ~600 J, 18 -> 70 s)",
+			first.EnergyJoules, last.EnergyJoules,
+			(1-last.EnergyJoules/first.EnergyJoules)*100,
+			first.Delay.Seconds(), last.Delay.Seconds())
+	}
 	return tbl, nil
 }
 
@@ -79,10 +109,11 @@ func Fig7b(opts Options) (*Table, error) {
 		k      int
 		energy float64
 	}
+	runner := opts.runner()
 	var at40 []kd
 	for _, k := range []int{2, 4, 8, 16} {
-		points, err := sim.Sweep(cfg, etrainFactory(k), thetas)
-		if err != nil {
+		points, err := runner.Sweep(cfg, etrainFactory(k), thetas)
+		if err := notePartial(tbl, points, err); err != nil {
 			return nil, err
 		}
 		for _, p := range points {
@@ -139,16 +170,17 @@ func Fig8a(opts Options) (*Table, error) {
 	}
 	sweeps := []struct {
 		name     string
-		factory  sim.StrategyFactory
+		factory  sim.KeyedFactory
 		controls []float64
 	}{
 		{"etrain", etrainFactory(core.KInfinite), []float64{0, 0.5, 1, 2, 4, 6, 10, 14}},
 		{"peres", peresFactory(), []float64{0.1, 0.3, 0.6, 1.0, 1.5, 2.0}},
 		{"etime", etimeFactory(), []float64{2, 4, 8, 12, 16, 24}},
 	}
+	runner := opts.runner()
 	for _, s := range sweeps {
-		points, err := sim.Sweep(cfg, s.factory, s.controls)
-		if err != nil {
+		points, err := runner.Sweep(cfg, s.factory, s.controls)
+		if err := notePartial(tbl, points, err); err != nil {
 			return nil, err
 		}
 		for _, p := range points {
@@ -156,13 +188,12 @@ func Fig8a(opts Options) (*Table, error) {
 				p.Delay.Seconds(), fmt.Sprintf("%.3f", p.ViolationRatio))
 		}
 	}
-	cfg.Strategy = baseline.NewImmediate()
-	res, err := sim.Run(cfg)
+	base, err := runner.Point(cfg, baselineFactory(), 0)
 	if err != nil {
 		return nil, err
 	}
-	tbl.AddRow("baseline", "-", res.Energy.Total(),
-		res.NormalizedDelay().Seconds(), fmt.Sprintf("%.3f", res.DeadlineViolationRatio()))
+	tbl.AddRow("baseline", "-", base.EnergyJoules,
+		base.Delay.Seconds(), fmt.Sprintf("%.3f", base.ViolationRatio))
 	tbl.AddNote("paper Fig. 8a: eTrain's curve dominates; eTime beats PerES; baseline spends the most")
 	return tbl, nil
 }
@@ -174,8 +205,10 @@ func Fig8a(opts Options) (*Table, error) {
 const fig8bDelayTarget = 65 * time.Second
 
 // Fig8b reproduces the λ sweep: total energy and deadline violation ratio
-// of every strategy, each calibrated to the same normalized delay, for λ in
-// {0.04 .. 0.12}.
+// of every strategy, each calibrated to the same normalized delay, for λ
+// in {0.04 .. 0.12}. The λ rows are independent, so they fan out across
+// the experiment's worker budget while each row's calibrations share the
+// runner's point cache.
 func Fig8b(opts Options) (*Table, error) {
 	tbl := &Table{
 		ID:    "fig8b",
@@ -183,35 +216,41 @@ func Fig8b(opts Options) (*Table, error) {
 		Columns: []string{"lambda", "baseline_J", "etrain_J", "etime_J", "peres_J",
 			"etrain_saving_J", "etrain_viol", "etime_viol", "peres_viol"},
 	}
-	for _, lambda := range []float64{0.04, 0.06, 0.08, 0.10, 0.12} {
+	lambdas := []float64{0.04, 0.06, 0.08, 0.10, 0.12}
+	runner := opts.runner()
+	rows, err := parallel.Map(opts.limit(), len(lambdas), func(i int) ([]string, error) {
+		lambda := lambdas[i]
 		cfg, err := buildSimConfig(opts, lambda)
 		if err != nil {
 			return nil, err
 		}
-		cfg.Strategy = baseline.NewImmediate()
-		base, err := sim.Run(cfg)
+		base, err := runner.Point(cfg, baselineFactory(), 0)
 		if err != nil {
 			return nil, err
 		}
-		et, err := sim.CalibrateDelay(cfg, etrainFactory(core.KInfinite), fig8bDelayTarget, 0, 20, 7)
+		et, err := runner.CalibrateDelay(cfg, etrainFactory(core.KInfinite), fig8bDelayTarget, 0, 20, 7)
 		if err != nil {
 			return nil, err
 		}
-		em, err := sim.CalibrateDelay(cfg, etimeFactory(), fig8bDelayTarget, 1, 40, 7)
+		em, err := runner.CalibrateDelay(cfg, etimeFactory(), fig8bDelayTarget, 1, 40, 7)
 		if err != nil {
 			return nil, err
 		}
-		pr, err := sim.CalibrateDelay(cfg, peresFactory(), fig8bDelayTarget, 0, 3, 7)
+		pr, err := runner.CalibrateDelay(cfg, peresFactory(), fig8bDelayTarget, 0, 3, 7)
 		if err != nil {
 			return nil, err
 		}
-		tbl.AddRow(fmt.Sprintf("%.2f", lambda), base.Energy.Total(),
+		return formatRow(fmt.Sprintf("%.2f", lambda), base.EnergyJoules,
 			et.EnergyJoules, em.EnergyJoules, pr.EnergyJoules,
-			base.Energy.Total()-et.EnergyJoules,
+			base.EnergyJoules-et.EnergyJoules,
 			fmt.Sprintf("%.3f", et.ViolationRatio),
 			fmt.Sprintf("%.3f", em.ViolationRatio),
-			fmt.Sprintf("%.3f", pr.ViolationRatio))
+			fmt.Sprintf("%.3f", pr.ViolationRatio)), nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fig8b: %w", err)
 	}
+	tbl.Rows = rows
 	tbl.AddNote("paper Fig. 8b: baseline rises then flattens ~2600 J; eTrain saves 628-1650 J vs baseline; eTime beats PerES by ~320 J at λ=0.08")
 	return tbl, nil
 }

@@ -25,8 +25,9 @@ type Table struct {
 	Notes []string
 }
 
-// AddRow appends a data row; values are stringified with %v.
-func (t *Table) AddRow(values ...any) {
+// formatRow stringifies cell values the way AddRow renders them: float64
+// as %.2f, everything else with %v.
+func formatRow(values ...any) []string {
 	row := make([]string, len(values))
 	for i, v := range values {
 		switch x := v.(type) {
@@ -36,7 +37,12 @@ func (t *Table) AddRow(values ...any) {
 			row[i] = fmt.Sprintf("%v", v)
 		}
 	}
-	t.Rows = append(t.Rows, row)
+	return row
+}
+
+// AddRow appends a data row; values are stringified with %v.
+func (t *Table) AddRow(values ...any) {
+	t.Rows = append(t.Rows, formatRow(values...))
 }
 
 // AddNote appends a formatted commentary line.

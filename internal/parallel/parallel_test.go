@@ -1,0 +1,135 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(4); got != 4 {
+		t.Fatalf("Workers(4) = %d", got)
+	}
+	if got := Workers(0); got < 1 {
+		t.Fatalf("Workers(0) = %d, want >= 1", got)
+	}
+	if got := Workers(-3); got != Workers(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS default %d", got, Workers(0))
+	}
+}
+
+func TestForEachRunsEveryJobAndSlotsByIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		n := 50
+		out := make([]int, n)
+		err := ForEach(NewLimit(workers), n, func(i int) error {
+			out[i] = i * i
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var active, peak int64
+	var mu sync.Mutex
+	err := ForEach(NewLimit(workers), 40, func(int) error {
+		cur := atomic.AddInt64(&active, 1)
+		mu.Lock()
+		if cur > peak {
+			peak = cur
+		}
+		mu.Unlock()
+		time.Sleep(time.Millisecond) // hold the slot so jobs overlap
+		atomic.AddInt64(&active, -1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak > workers {
+		t.Fatalf("observed %d concurrent jobs, budget %d", peak, workers)
+	}
+}
+
+func TestForEachAggregatesErrorsSortedByIndex(t *testing.T) {
+	wantBad := map[int]bool{3: true, 7: true, 11: true}
+	err := ForEach(NewLimit(4), 12, func(i int) error {
+		if wantBad[i] {
+			return fmt.Errorf("boom %d", i)
+		}
+		return nil
+	})
+	var errs Errors
+	if !errors.As(err, &errs) {
+		t.Fatalf("error type %T, want Errors", err)
+	}
+	if len(errs) != len(wantBad) {
+		t.Fatalf("got %d errors, want %d: %v", len(errs), len(wantBad), errs)
+	}
+	prev := -1
+	for _, ie := range errs {
+		if !wantBad[ie.Index] {
+			t.Fatalf("unexpected failed index %d", ie.Index)
+		}
+		if ie.Index <= prev {
+			t.Fatalf("errors not sorted by index: %v", errs)
+		}
+		prev = ie.Index
+	}
+}
+
+func TestForEachSequentialInline(t *testing.T) {
+	// A 1-slot pool must preserve submission order exactly.
+	var order []int
+	err := ForEach(NewLimit(1), 10, func(i int) error {
+		order = append(order, i) // no mutex: inline execution is the contract
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential pool ran out of order: %v", order)
+		}
+	}
+}
+
+func TestMapPartialFailureKeepsSurvivors(t *testing.T) {
+	out, err := Map(NewLimit(4), 6, func(i int) (int, error) {
+		if i == 2 {
+			return 0, errors.New("nope")
+		}
+		return i + 1, nil
+	})
+	if err == nil {
+		t.Fatal("want aggregated error")
+	}
+	for i, v := range out {
+		want := i + 1
+		if i == 2 {
+			want = 0 // failed slot holds the zero value
+		}
+		if v != want {
+			t.Fatalf("slot %d = %d, want %d", i, v, want)
+		}
+	}
+}
+
+func TestForEachZeroJobs(t *testing.T) {
+	if err := ForEach(nil, 0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -29,6 +29,43 @@ func (s *Source) Split() *Source {
 	return New(s.rng.Int63())
 }
 
+// Derive mixes the given parts into seed with a splitmix64-style finalizer
+// and returns a non-negative stream seed that is a pure function of its
+// inputs. Unlike Split, Derive consumes no stream state: any consumer that
+// can name its identity — a sweep shard's (strategy, control) pair, a
+// fleet's device index — gets the same independent stream no matter when,
+// where or in which order it asks. This is what makes parallel simulation
+// runs bit-identical to sequential ones.
+func Derive(seed int64, parts ...uint64) int64 {
+	h := uint64(seed) ^ 0x9e3779b97f4a7c15
+	h = mix64(h)
+	for _, p := range parts {
+		h = mix64(h ^ p)
+	}
+	return int64(h >> 1)
+}
+
+// DeriveString hashes s into a part usable with Derive (FNV-1a).
+func DeriveString(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche over 64 bits.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // Float64 returns a uniform value in [0, 1).
 func (s *Source) Float64() float64 { return s.rng.Float64() }
 

@@ -1,6 +1,7 @@
 package randx
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -41,6 +42,77 @@ func TestSplitIndependence(t *testing.T) {
 		if child.Float64() != child2.Float64() {
 			t.Fatalf("split streams diverged at draw %d", i)
 		}
+	}
+}
+
+func TestDerivePureFunction(t *testing.T) {
+	a := Derive(42, 7, 9)
+	b := Derive(42, 7, 9)
+	if a != b {
+		t.Fatalf("Derive not deterministic: %d vs %d", a, b)
+	}
+	if a < 0 {
+		t.Fatalf("Derive returned negative seed %d", a)
+	}
+	// Unlike Split, Derive consumes no state: interleaving other
+	// derivations must not change the answer.
+	_ = Derive(42, 1)
+	_ = Derive(99, 7, 9)
+	if got := Derive(42, 7, 9); got != a {
+		t.Fatalf("Derive changed after unrelated calls: %d vs %d", got, a)
+	}
+}
+
+func TestDeriveSeparatesIdentities(t *testing.T) {
+	// Distinct identities must get distinct streams: vary each component
+	// and check the derived seeds collide essentially never.
+	seen := map[int64][]string{}
+	for seed := int64(0); seed < 8; seed++ {
+		for p1 := uint64(0); p1 < 16; p1++ {
+			for p2 := uint64(0); p2 < 16; p2++ {
+				id := fmt.Sprintf("%d/%d/%d", seed, p1, p2)
+				seen[Derive(seed, p1, p2)] = append(seen[Derive(seed, p1, p2)], id)
+			}
+		}
+	}
+	for k, ids := range seen {
+		if len(ids) > 1 {
+			t.Fatalf("derived seed %d collides for identities %v", k, ids)
+		}
+	}
+	// Argument order matters.
+	if Derive(1, 2, 3) == Derive(1, 3, 2) {
+		t.Fatal("Derive is order-insensitive")
+	}
+	// Part count matters: (x) vs (x, 0) name different identities.
+	if Derive(1, 2) == Derive(1, 2, 0) {
+		t.Fatal("Derive ignores trailing parts")
+	}
+}
+
+func TestDeriveString(t *testing.T) {
+	if DeriveString("etrain-k20") != DeriveString("etrain-k20") {
+		t.Fatal("DeriveString not deterministic")
+	}
+	if DeriveString("etrain-k20") == DeriveString("etrain-k2") {
+		t.Fatal("DeriveString collides on close keys")
+	}
+	if DeriveString("") == DeriveString("x") {
+		t.Fatal("DeriveString empty vs non-empty collide")
+	}
+}
+
+func TestDerivedStreamsIndependent(t *testing.T) {
+	a := New(Derive(5, DeriveString("etrain"), math.Float64bits(1.0)))
+	b := New(Derive(5, DeriveString("etrain"), math.Float64bits(1.2)))
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams of adjacent controls matched on %d of 100 draws", same)
 	}
 }
 

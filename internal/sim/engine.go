@@ -38,8 +38,21 @@ type Config struct {
 	// Strategy decides data transmissions. Required.
 	Strategy sched.Strategy
 	// Estimator, if set, exposes a noisy channel estimate to the strategy
-	// (PerES/eTime). eTrain ignores it.
+	// (PerES/eTime). eTrain ignores it. Run uses it as given; a Runner
+	// hands every sweep point its own Reseeded copy (see Seed) so
+	// concurrent runs never share its stream.
 	Estimator *bandwidth.Estimator
+	// Seed is the base seed a Runner derives per-run randomness from: the
+	// run at control c of the strategy family key f draws estimator noise
+	// from randx.Derive(Seed, hash(f), bits(c)). Runs are thereby pure
+	// functions of their identity, which is what makes parallel sweeps
+	// bit-identical to sequential ones.
+	Seed int64
+	// CacheKey, when non-empty, names the non-strategy content of this
+	// config (trace, workload, power model, horizon, seed) for the
+	// Runner's result cache. Two configs sharing a CacheKey are asserted
+	// identical by the caller; leave it empty to opt out of caching.
+	CacheKey string
 }
 
 // Validate reports configuration errors.

@@ -1,9 +1,12 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 	"time"
 
+	"etrain/internal/parallel"
 	"etrain/internal/sched"
 )
 
@@ -25,26 +28,111 @@ type EDPoint struct {
 // value. Strategies are stateful, so sweeps construct a new one per run.
 type StrategyFactory func(control float64) (sched.Strategy, error)
 
-// Sweep runs the configuration once per control value and returns the E–D
-// points in input order.
-func Sweep(cfg Config, factory StrategyFactory, controls []float64) ([]EDPoint, error) {
+// PointError records one failed sweep point.
+type PointError struct {
+	// Control is the control value whose run failed.
+	Control float64
+	// Err is the failure.
+	Err error
+}
+
+func (e PointError) Error() string {
+	return fmt.Sprintf("control %v: %v", e.Control, e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e PointError) Unwrap() error { return e.Err }
+
+// SweepError aggregates the failed points of a sweep. One failed point
+// reports its control value without killing the whole panel: the sweep
+// still returns every point that succeeded, and callers decide whether a
+// partial panel is usable.
+type SweepError struct {
+	// Failures holds one entry per failed control, in input order.
+	Failures []PointError
+}
+
+func (e *SweepError) Error() string {
+	parts := make([]string, len(e.Failures))
+	for i, f := range e.Failures {
+		parts[i] = f.Error()
+	}
+	return fmt.Sprintf("sweep: %d point(s) failed: %s", len(e.Failures), strings.Join(parts, "; "))
+}
+
+// Unwrap exposes the per-point errors to errors.Is/As.
+func (e *SweepError) Unwrap() []error {
+	out := make([]error, len(e.Failures))
+	for i, f := range e.Failures {
+		out[i] = f.Err
+	}
+	return out
+}
+
+// Controls returns the failed control values in input order.
+func (e *SweepError) Controls() []float64 {
+	out := make([]float64, len(e.Failures))
+	for i, f := range e.Failures {
+		out[i] = f.Control
+	}
+	return out
+}
+
+// Sweep evaluates the configuration once per control value on the
+// runner's pool and returns the E–D points of the successful runs in
+// input order. When some points fail, the returned error is a *SweepError
+// listing them, alongside the surviving points; the panel only comes back
+// empty if every point failed.
+func (r *Runner) Sweep(cfg Config, factory KeyedFactory, controls []float64) ([]EDPoint, error) {
+	type slot struct {
+		pt  EDPoint
+		err error
+	}
+	results := make([]slot, len(controls))
+	// Spawn bound: no point waking more goroutines than there are jobs or
+	// worker slots; the leaf semaphore inside Point enforces the real
+	// budget across concurrent sweeps.
+	spawn := len(controls)
+	if w := r.Workers(); w < spawn {
+		spawn = w
+	}
+	_ = parallel.ForEach(parallel.NewLimit(spawn), len(controls), func(i int) error {
+		pt, err := r.Point(cfg, factory, controls[i])
+		results[i] = slot{pt: pt, err: err}
+		return nil
+	})
+
 	points := make([]EDPoint, 0, len(controls))
-	for _, ctrl := range controls {
-		strategy, err := factory(ctrl)
-		if err != nil {
-			return nil, fmt.Errorf("sweep control %v: %w", ctrl, err)
+	var sweepErr *SweepError
+	for i, res := range results {
+		if res.err != nil {
+			if sweepErr == nil {
+				sweepErr = &SweepError{}
+			}
+			sweepErr.Failures = append(sweepErr.Failures, PointError{Control: controls[i], Err: res.err})
+			continue
 		}
-		cfg.Strategy = strategy
-		res, err := Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("sweep control %v: %w", ctrl, err)
+		points = append(points, res.pt)
+	}
+	if sweepErr != nil {
+		return points, sweepErr
+	}
+	return points, nil
+}
+
+// Sweep runs the configuration once per control value sequentially and
+// returns the E–D points in input order. It is the zero-setup entry
+// point; use a Runner for parallelism, caching and partial-failure
+// tolerance. The first failed point aborts the sweep, matching the
+// historical contract.
+func Sweep(cfg Config, factory StrategyFactory, controls []float64) ([]EDPoint, error) {
+	points, err := NewRunner(1).Sweep(cfg, Keyed("", factory), controls)
+	if err != nil {
+		var se *SweepError
+		if errors.As(err, &se) && len(se.Failures) > 0 {
+			return nil, fmt.Errorf("sweep %w", se.Failures[0])
 		}
-		points = append(points, EDPoint{
-			Control:        ctrl,
-			EnergyJoules:   res.Energy.Total(),
-			Delay:          res.NormalizedDelay(),
-			ViolationRatio: res.DeadlineViolationRatio(),
-		})
+		return nil, err
 	}
 	return points, nil
 }
@@ -56,23 +144,16 @@ func Sweep(cfg Config, factory StrategyFactory, controls []float64) ([]EDPoint, 
 // gradient.
 const calibrationTolerance = 4 * time.Second
 
-// CalibrateDelay finds, by bisection over [lo, hi], the control value whose
-// run meets the target normalized delay, assuming delay is non-decreasing
-// in the control (true for Θ, Ω and V). Among evaluated points within
-// calibrationTolerance of the target it returns the lowest-energy one;
-// otherwise the closest-delay one. This mirrors the paper's Fig. 8b
-// methodology: "picking the right value of Ω, V and Θ" so every strategy is
-// compared at the same delay.
-func CalibrateDelay(cfg Config, factory StrategyFactory, target time.Duration, lo, hi float64, iterations int) (EDPoint, error) {
+// calibrate drives the bisection given an evaluator: it probes [lo, hi]
+// assuming delay is non-decreasing in the control, then probes a few
+// points past the bracket in case the delay curve flattens while energy
+// keeps falling. Among evaluated points within calibrationTolerance of
+// the target it returns the lowest-energy one; otherwise the
+// closest-delay one. The returned point is always one the evaluator
+// produced.
+func calibrate(evaluate func(float64) (EDPoint, error), target time.Duration, lo, hi float64, iterations int) (EDPoint, error) {
 	if iterations <= 0 {
 		iterations = 12
-	}
-	evaluate := func(ctrl float64) (EDPoint, error) {
-		pts, err := Sweep(cfg, factory, []float64{ctrl})
-		if err != nil {
-			return EDPoint{}, err
-		}
-		return pts[0], nil
 	}
 
 	var evaluated []EDPoint
@@ -136,6 +217,26 @@ func CalibrateDelay(cfg Config, factory StrategyFactory, target time.Duration, l
 		}
 	}
 	return best, nil
+}
+
+// CalibrateDelay finds, by bisection over [lo, hi], the control value
+// whose run meets the target normalized delay, assuming delay is
+// non-decreasing in the control (true for Θ, Ω and V); see calibrate for
+// the selection rule. This mirrors the paper's Fig. 8b methodology:
+// "picking the right value of Ω, V and Θ" so every strategy is compared
+// at the same delay. Probes are inherently sequential (each depends on
+// the last), but they hit the runner's cache, so repeated calibrations
+// over one config and overlapping sweep grids never recompute a point.
+func (r *Runner) CalibrateDelay(cfg Config, factory KeyedFactory, target time.Duration, lo, hi float64, iterations int) (EDPoint, error) {
+	return calibrate(func(ctrl float64) (EDPoint, error) {
+		return r.Point(cfg, factory, ctrl)
+	}, target, lo, hi, iterations)
+}
+
+// CalibrateDelay is the zero-setup sequential form of
+// Runner.CalibrateDelay.
+func CalibrateDelay(cfg Config, factory StrategyFactory, target time.Duration, lo, hi float64, iterations int) (EDPoint, error) {
+	return NewRunner(1).CalibrateDelay(cfg, Keyed("", factory), target, lo, hi, iterations)
 }
 
 func absDuration(d time.Duration) time.Duration {

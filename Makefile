@@ -1,0 +1,51 @@
+# Local targets mirror .github/workflows/ci.yml one to one, so what passes
+# here passes there. staticcheck/govulncheck are optional locally (skipped
+# with a notice when not installed); CI always runs them.
+
+GO ?= go
+
+.PHONY: all build test race fuzz lint vet determinism clean
+
+all: build test lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fuzz:
+	$(GO) test ./internal/tracefile -run Fuzz
+
+vet:
+	$(GO) vet ./...
+
+# lint = go vet + the project analyzer suite (notime, norand, maporder,
+# units, ctxloop), plus staticcheck/govulncheck when available.
+lint: vet
+	$(GO) run ./cmd/etrain-vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (CI runs it)"; \
+	fi
+
+# End-to-end determinism check: full registry, sequential vs 8 workers,
+# byte-compared — same as the CI determinism job.
+determinism:
+	$(GO) build -o /tmp/etrain-experiments ./cmd/etrain-experiments
+	/tmp/etrain-experiments -parallel 1 -ablations > /tmp/etrain-seq.txt
+	/tmp/etrain-experiments -parallel 8 -ablations > /tmp/etrain-par.txt
+	diff -u /tmp/etrain-seq.txt /tmp/etrain-par.txt
+
+clean:
+	$(GO) clean ./...
+	rm -f /tmp/etrain-experiments /tmp/etrain-seq.txt /tmp/etrain-par.txt

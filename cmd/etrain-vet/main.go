@@ -1,0 +1,151 @@
+// Command etrain-vet runs the project's static-analysis suite (see
+// internal/analysis): notime, norand, maporder, units and ctxloop — the
+// machine-checked invariants behind the repository's determinism and
+// unit-safety guarantees.
+//
+// Usage:
+//
+//	go run ./cmd/etrain-vet ./...
+//	go run ./cmd/etrain-vet ./internal/radio ./internal/sim/...
+//	go run ./cmd/etrain-vet -list
+//
+// The tool loads every matched package with the standard library's
+// type-checker (no external dependencies), applies every analyzer, honours
+// //lint:ignore <check> <justification> directives, and exits non-zero if
+// any finding survives. Test files are outside its scope; the determinism
+// test suites cover those directly.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"etrain/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: etrain-vet [-list] [packages]\n\npackages default to ./...\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if err := run(flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "etrain-vet:", err)
+		os.Exit(2)
+	}
+}
+
+func run(patterns []string) error {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+	root, modulePath, err := findModule(cwd)
+	if err != nil {
+		return err
+	}
+	all, err := analysis.ModulePackages(root, modulePath)
+	if err != nil {
+		return err
+	}
+	dirs := map[string]string{}
+	for _, pd := range all {
+		dirs[pd[0]] = pd[1]
+	}
+	loader := analysis.NewLoader(func(importPath string) (string, bool) {
+		dir, ok := dirs[importPath]
+		return dir, ok
+	})
+
+	var pkgs []*analysis.Package
+	for _, pd := range all {
+		importPath, dir := pd[0], pd[1]
+		if !matchesAny(patterns, cwd, dir) {
+			continue
+		}
+		pkg, err := loader.Load(importPath, dir)
+		if err != nil {
+			return err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	if len(pkgs) == 0 {
+		return fmt.Errorf("no packages match %v", patterns)
+	}
+
+	diags := analysis.Run(pkgs, analysis.All())
+	out := bufio.NewWriter(os.Stdout)
+	for _, d := range diags {
+		pos := d.Pos
+		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
+		}
+		fmt.Fprintf(out, "%s:%d:%d: %s [%s]\n", pos.Filename, pos.Line, pos.Column, d.Message, d.Analyzer)
+	}
+	out.Flush()
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+	return nil
+}
+
+// findModule walks upward from dir to the enclosing go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, modulePath string, err error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("no module line in %s/go.mod", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// matchesAny reports whether dir is selected by any of the ./-relative
+// package patterns ("./...", "./internal/radio", "./internal/sim/...").
+func matchesAny(patterns []string, cwd, dir string) bool {
+	rel, err := filepath.Rel(cwd, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return false
+	}
+	rel = filepath.ToSlash(rel)
+	for _, p := range patterns {
+		p = strings.TrimPrefix(filepath.ToSlash(p), "./")
+		if base, ok := strings.CutSuffix(p, "/..."); ok {
+			if base == "" || base == "." || rel == base || strings.HasPrefix(rel, base+"/") {
+				return true
+			}
+		} else if p == "..." {
+			return true
+		} else if rel == p || (p == "." && rel == ".") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,222 @@
+// Package analysis is the eTrain static-analysis suite: a small,
+// dependency-free reimplementation of the golang.org/x/tools/go/analysis
+// model (the container ships no module cache, so the suite is built on the
+// standard library's go/parser + go/types alone) plus the project-specific
+// analyzers that machine-check the invariants the energy reproduction
+// depends on:
+//
+//   - notime:   no wall-clock reads outside the sanctioned real-time boundary
+//   - norand:   all randomness flows through internal/randx
+//   - maporder: no map-iteration order leaking into rendered output
+//   - units:    no mW/W/J/s/ms mixing and no magic scale factors
+//   - ctxloop:  goroutines in the fan-out layers join and don't capture
+//     loop variables
+//
+// The cmd/etrain-vet driver runs every analyzer over the module; the
+// analysistest subpackage replays each analyzer against fixtures under
+// testdata/src with `// want "regexp"` expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named static check. It mirrors the x/tools analysis.Analyzer
+// contract: a Run function inspects a fully type-checked package through a
+// Pass and reports diagnostics.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //lint:ignore
+	// directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant the analyzer
+	// guards.
+	Doc string
+	// Exempt, when non-nil, reports whether a package import path is out
+	// of the analyzer's scope. Exempt packages are skipped entirely: the
+	// real-time boundary may call time.Now, internal/randx may import
+	// math/rand, and ctxloop only patrols the fan-out layers.
+	Exempt func(pkgPath string) bool
+	// Run inspects one package and reports findings via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's parsed and type-checked state into an
+// analyzer's Run function.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps token positions back to file coordinates.
+	Fset *token.FileSet
+	// Files are the package's parsed source files, in filename order.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's identifier and expression facts.
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Position
+	// Analyzer names the check that produced the finding.
+	Analyzer string
+	// Message explains the violated invariant.
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	line      int
+	checks    map[string]bool // analyzer names covered; {"*": true} covers all
+	used      bool
+	malformed bool
+	pos       token.Position
+}
+
+var ignoreRE = regexp.MustCompile(`^//lint:ignore\s+(\S+)(\s+(.*))?$`)
+
+// parseIgnores extracts the //lint:ignore directives of a file, keyed by the
+// line they annotate. A directive suppresses matching diagnostics on its own
+// line and on the following line, staticcheck-style:
+//
+//	//lint:ignore units V is eTime's control knob, not volts
+//	opts.MaxV = opts.MinV * 1000
+//
+// A directive with no justification text is itself reported as malformed —
+// every surviving ignore must say why.
+func parseIgnores(fset *token.FileSet, file *ast.File) []*ignoreDirective {
+	var out []*ignoreDirective
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			m := ignoreRE.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			d := &ignoreDirective{
+				line:   fset.Position(c.Pos()).Line,
+				checks: map[string]bool{},
+				pos:    fset.Position(c.Pos()),
+			}
+			for _, name := range strings.Split(m[1], ",") {
+				d.checks[strings.TrimSpace(name)] = true
+			}
+			if strings.TrimSpace(m[3]) == "" {
+				d.malformed = true
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// covers reports whether the directive suppresses a diagnostic from the
+// named analyzer on the given line.
+func (d *ignoreDirective) covers(analyzer string, line int) bool {
+	if line != d.line && line != d.line+1 {
+		return false
+	}
+	return d.checks["*"] || d.checks[analyzer]
+}
+
+// Run applies every analyzer to every package, honours //lint:ignore
+// directives, and returns the surviving diagnostics sorted by position.
+// Malformed directives (missing justification) are reported under the
+// pseudo-analyzer name "directive".
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		var ignores []*ignoreDirective
+		for _, f := range pkg.Files {
+			ignores = append(ignores, parseIgnores(pkg.Fset, f)...)
+		}
+		for _, a := range analyzers {
+			if a.Exempt != nil && a.Exempt(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.report = func(d Diagnostic) {
+				for _, ig := range ignores {
+					if !ig.malformed && ig.covers(d.Analyzer, d.Pos.Line) && d.Pos.Filename == ig.pos.Filename {
+						ig.used = true
+						return
+					}
+				}
+				diags = append(diags, d)
+			}
+			if err := a.Run(pass); err != nil {
+				diags = append(diags, Diagnostic{
+					Pos:      token.Position{Filename: pkg.Path},
+					Analyzer: a.Name,
+					Message:  fmt.Sprintf("analyzer failed: %v", err),
+				})
+			}
+		}
+		for _, ig := range ignores {
+			if ig.malformed {
+				diags = append(diags, Diagnostic{
+					Pos:      ig.pos,
+					Analyzer: "directive",
+					Message:  "malformed //lint:ignore: every ignore needs a one-line justification",
+				})
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// All returns the full eTrain analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{NoTime, NoRand, MapOrder, Units, CtxLoop}
+}
+
+// pathIsAny reports whether pkgPath equals one of the given import paths.
+func pathIsAny(pkgPath string, paths ...string) bool {
+	for _, p := range paths {
+		if pkgPath == p {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,121 @@
+// Package analysistest replays an analyzer against fixture packages under a
+// testdata/src tree, mirroring golang.org/x/tools/go/analysis/analysistest:
+// every expected finding is declared in the fixture source as a trailing
+//
+//	// want "regexp" `another regexp`
+//
+// comment on the line the diagnostic must land on. Fixture directory paths
+// double as import paths, which is how fixtures exercise path-based
+// exemptions (a fixture under testdata/src/etrain/internal/simtime is, to
+// the analyzers, the sanctioned simtime package).
+package analysistest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"etrain/internal/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	return abs
+}
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads each fixture package under testdata/src, applies the analyzer,
+// and checks the diagnostics against the fixtures' want comments. Fixture
+// packages may import each other (and the standard library); imports
+// resolve inside the same testdata/src tree.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	srcRoot := filepath.Join(testdata, "src")
+	loader := analysis.NewLoader(func(importPath string) (string, bool) {
+		dir := filepath.Join(srcRoot, filepath.FromSlash(importPath))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir, true
+		}
+		return "", false
+	})
+	for _, pkgPath := range pkgPaths {
+		pkg, err := loader.Load(pkgPath, filepath.Join(srcRoot, filepath.FromSlash(pkgPath)))
+		if err != nil {
+			t.Fatalf("load %s: %v", pkgPath, err)
+		}
+		diags := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+		wants := collectWants(t, pkg)
+
+	diagLoop:
+		for _, d := range diags {
+			for _, w := range wants {
+				if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+					w.matched = true
+					continue diagLoop
+				}
+			}
+			t.Errorf("%s: unexpected diagnostic: %s", pkgPath, d)
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic at %s:%d matching %q",
+					pkgPath, filepath.Base(w.file), w.line, w.raw)
+			}
+		}
+	}
+}
+
+// wantFragmentRE matches one quoted or backquoted expectation fragment.
+var wantFragmentRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// collectWants parses the want comments of every file in pkg.
+func collectWants(t *testing.T, pkg *analysis.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				frags := wantFragmentRE.FindAllStringSubmatch(rest, -1)
+				if len(frags) == 0 {
+					t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+				}
+				for _, m := range frags {
+					// Comment text is literal: the only escape to undo in
+					// a quoted fragment is an embedded \" quote.
+					raw := m[2]
+					if m[1] != "" || m[2] == "" {
+						raw = strings.ReplaceAll(m[1], `\"`, `"`)
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, raw, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadFixture loads one package from the testdata/src tree with imports
+// resolving inside that tree.
+func loadFixture(t *testing.T, importPath string) *Package {
+	t.Helper()
+	srcRoot, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := NewLoader(func(p string) (string, bool) {
+		dir := filepath.Join(srcRoot, filepath.FromSlash(p))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir, true
+		}
+		return "", false
+	})
+	pkg, err := loader.Load(importPath, filepath.Join(srcRoot, filepath.FromSlash(importPath)))
+	if err != nil {
+		t.Fatalf("load %s: %v", importPath, err)
+	}
+	return pkg
+}
+
+// TestIgnoreDirectives pins down the //lint:ignore contract end to end: a
+// justified directive suppresses the next line's finding, an unjustified
+// one suppresses nothing and is itself reported, and a directive naming a
+// different analyzer does not apply.
+func TestIgnoreDirectives(t *testing.T) {
+	pkg := loadFixture(t, "ignores")
+	diags := Run([]*Package{pkg}, []*Analyzer{NoTime})
+
+	type finding struct {
+		line     int
+		analyzer string
+	}
+	want := []finding{
+		{13, "directive"}, // unjustified directive reported as malformed
+		{14, "notime"},    // ... and it suppresses nothing
+		{19, "notime"},    // directive for another analyzer does not apply
+	}
+	if len(diags) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d: %v", len(diags), len(want), diags)
+	}
+	for i, w := range want {
+		if diags[i].Pos.Line != w.line || diags[i].Analyzer != w.analyzer {
+			t.Errorf("diag %d = %s:%d [%s], want line %d [%s]",
+				i, filepath.Base(diags[i].Pos.Filename), diags[i].Pos.Line,
+				diags[i].Analyzer, w.line, w.analyzer)
+		}
+	}
+	if !strings.Contains(diags[0].Message, "justification") {
+		t.Errorf("malformed-directive message %q should ask for a justification", diags[0].Message)
+	}
+}
+
+// TestModulePackages checks package discovery over the real module: the
+// root package, nested internal packages and commands are found; testdata
+// fixture trees are not.
+func TestModulePackages(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := ModulePackages(root, "etrain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, pd := range pkgs {
+		got[pd[0]] = true
+	}
+	for _, mustHave := range []string{
+		"etrain",
+		"etrain/internal/analysis",
+		"etrain/internal/radio",
+		"etrain/cmd/etrain-vet",
+	} {
+		if !got[mustHave] {
+			t.Errorf("ModulePackages missed %s", mustHave)
+		}
+	}
+	for path := range got {
+		if strings.Contains(path, "testdata") {
+			t.Errorf("ModulePackages descended into testdata: %s", path)
+		}
+	}
+}

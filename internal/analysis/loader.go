@@ -1,0 +1,196 @@
+// The loader parses and type-checks packages without golang.org/x/tools:
+// module-internal imports resolve through a caller-supplied path→directory
+// map, and everything else (the standard library) is type-checked from
+// GOROOT source via go/importer's source importer. The repository has no
+// external dependencies, so these two routes cover every import.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	// Path is the package's import path. For fixtures this is synthesized
+	// from the directory under testdata/src, which is what lets fixture
+	// packages exercise path-based exemptions.
+	Path string
+	// Dir is the directory the files were read from.
+	Dir string
+	// Fset maps positions for every file of the load.
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, in filename order.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info holds identifier resolution and expression types.
+	Info *types.Info
+}
+
+// Loader loads packages for analysis. A single Loader shares one FileSet and
+// one package cache across loads, so diagnostics from different packages
+// have consistent positions and common imports type-check once.
+type Loader struct {
+	// Fset is shared by every load.
+	Fset *token.FileSet
+	// Resolve maps a module-internal import path to its directory. It
+	// returns false for paths outside the module (delegated to the
+	// standard-library source importer).
+	Resolve func(importPath string) (dir string, ok bool)
+
+	std   types.Importer
+	cache map[string]*Package
+	stack []string
+}
+
+// NewLoader returns a Loader resolving module-internal paths through
+// resolve.
+func NewLoader(resolve func(string) (string, bool)) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		Resolve: resolve,
+		std:     importer.ForCompiler(fset, "source", nil),
+		cache:   map[string]*Package{},
+	}
+}
+
+// Import implements types.Importer so the type-checker can resolve the
+// imports of a package under load through the same Loader.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if dir, ok := l.Resolve(path); ok {
+		pkg, err := l.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// Load parses and type-checks the package rooted at dir under the given
+// import path.
+func (l *Loader) Load(importPath, dir string) (*Package, error) {
+	return l.load(importPath, dir)
+}
+
+func (l *Loader) load(importPath, dir string) (*Package, error) {
+	if pkg, ok := l.cache[importPath]; ok {
+		return pkg, nil
+	}
+	for _, p := range l.stack {
+		if p == importPath {
+			return nil, fmt.Errorf("import cycle through %q", importPath)
+		}
+	}
+	l.stack = append(l.stack, importPath)
+	defer func() { l.stack = l.stack[:len(l.stack)-1] }()
+
+	names, err := goFileNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	tinfo := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(importPath, l.Fset, files, tinfo)
+	if err != nil {
+		return nil, fmt.Errorf("type-check %s: %w", importPath, err)
+	}
+	pkg := &Package{
+		Path:  importPath,
+		Dir:   dir,
+		Fset:  l.Fset,
+		Files: files,
+		Types: tpkg,
+		Info:  tinfo,
+	}
+	l.cache[importPath] = pkg
+	return pkg, nil
+}
+
+// goFileNames lists the non-test .go files of dir in sorted order, so loads
+// (and therefore diagnostics) are deterministic.
+func goFileNames(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// ModulePackages discovers every package directory of the module rooted at
+// root (the directory holding go.mod) and returns import-path/dir pairs in
+// deterministic order. testdata, hidden, and vendor trees are skipped.
+func ModulePackages(root, modulePath string) ([][2]string, error) {
+	var out [][2]string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		names, err := goFileNames(path)
+		if err != nil || len(names) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		importPath := modulePath
+		if rel != "." {
+			importPath = modulePath + "/" + filepath.ToSlash(rel)
+		}
+		out = append(out, [2]string{importPath, path})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out, nil
+}

@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags `range` over a map inside output-writing functions: golden
+// files, rendered tables and power traces must be byte-identical across
+// runs, and Go's map iteration order is deliberately randomized. Two shapes
+// are reported:
+//
+//   - a map range whose body writes directly (fmt.Fprintf, Writer.Write,
+//     strings.Builder.WriteString, ...): always a bug — the write order is
+//     the map order;
+//   - a map range anywhere in a function that writes output, unless a
+//     sort.*/slices.* call follows the loop (the collect-keys-then-sort
+//     idiom), because values collected in map order otherwise reach the
+//     writer unsorted (and even float accumulation is order-sensitive).
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flag map iteration inside output-writing functions unless the " +
+		"keys are sorted before rendering",
+	Run: runMapOrder,
+}
+
+// writerMethods are method names treated as output sinks. Receiver types are
+// not filtered: the check only fires when a map range is also present, and
+// a Write-named method on any receiver in that situation deserves a look.
+var writerMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"WriteTo":     true,
+}
+
+// fmtOutputFuncs are the fmt functions that emit to a writer or stdout.
+// Sprint* is deliberately absent: building strings inside a map loop and
+// sorting them afterwards is the sanctioned idiom.
+var fmtOutputFuncs = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkMapOrderFunc(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkMapOrderFunc(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapOrderFunc evaluates one function body. Nested function literals
+// are skipped here (the Inspect in runMapOrder visits them as their own
+// units).
+func checkMapOrderFunc(pass *Pass, body *ast.BlockStmt) {
+	var (
+		mapRanges   []*ast.RangeStmt
+		outputCalls []*ast.CallExpr
+		sortCalls   []*ast.CallExpr
+	)
+	walkFuncBody(body, func(n ast.Node) {
+		switch v := n.(type) {
+		case *ast.RangeStmt:
+			if isMapType(pass, v.X) {
+				mapRanges = append(mapRanges, v)
+			}
+		case *ast.CallExpr:
+			if isOutputCall(pass, v) {
+				outputCalls = append(outputCalls, v)
+			}
+			if isSortCall(pass, v) {
+				sortCalls = append(sortCalls, v)
+			}
+		}
+	})
+	if len(mapRanges) == 0 || len(outputCalls) == 0 {
+		return
+	}
+	for _, rng := range mapRanges {
+		writesInBody := false
+		for _, call := range outputCalls {
+			if call.Pos() >= rng.Body.Pos() && call.End() <= rng.Body.End() {
+				writesInBody = true
+				break
+			}
+		}
+		if writesInBody {
+			pass.Reportf(rng.Pos(),
+				"map iterated in randomized order while writing output; collect the keys, sort them, then render")
+			continue
+		}
+		sortedAfter := false
+		for _, call := range sortCalls {
+			if call.Pos() >= rng.End() {
+				sortedAfter = true
+				break
+			}
+		}
+		if !sortedAfter {
+			pass.Reportf(rng.Pos(),
+				"map iteration feeds an output-writing function with no sort between loop and render; map order leaks into the output")
+		}
+	}
+}
+
+// walkFuncBody visits every node of body except nested function literals.
+func walkFuncBody(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// isMapType reports whether expr has a map type.
+func isMapType(pass *Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// isOutputCall reports whether call writes to a writer or stdout.
+func isOutputCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if ident, ok := sel.X.(*ast.Ident); ok {
+		if pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName); ok {
+			return pkgName.Imported().Path() == "fmt" && fmtOutputFuncs[sel.Sel.Name]
+		}
+	}
+	// Method call: treat Write-family names as sinks.
+	return writerMethods[sel.Sel.Name]
+}
+
+// isSortCall reports whether call invokes the sort or slices package.
+func isSortCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	path := pkgName.Imported().Path()
+	return path == "sort" || path == "slices"
+}

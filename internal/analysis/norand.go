@@ -1,0 +1,47 @@
+package analysis
+
+import "strconv"
+
+// randPackages are the randomness sources that must not be imported
+// directly: both stdlib PRNG flavours and the OS entropy source. Every
+// stream in the repository is identity-seeded through internal/randx so a
+// run's output is a pure function of its seed.
+var randPackages = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"crypto/rand":  true,
+}
+
+// randBoundary is the one package allowed to wrap the stdlib generators.
+var randBoundary = []string{"etrain/internal/randx"}
+
+// NoRand forbids importing math/rand, math/rand/v2, or crypto/rand outside
+// internal/randx. Direct rand use either seeds from global state
+// (math/rand's default source) or from the OS (crypto/rand), and both break
+// the identity-seeded determinism contract of the sweep engine.
+var NoRand = &Analyzer{
+	Name: "norand",
+	Doc: "forbid direct math/rand, math/rand/v2 and crypto/rand imports " +
+		"outside internal/randx; all streams are identity-seeded via randx",
+	Exempt: func(pkgPath string) bool {
+		return pathIsAny(pkgPath, randBoundary...)
+	},
+	Run: runNoRand,
+}
+
+func runNoRand(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if randPackages[path] {
+				pass.Reportf(imp.Pos(),
+					"import of %s outside internal/randx; derive a deterministic stream with randx.New/randx.Derive instead",
+					path)
+			}
+		}
+	}
+	return nil
+}

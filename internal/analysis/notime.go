@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallClockFuncs are the package-time functions that read or advance the
+// real clock. Pure constructors and arithmetic on time.Duration /
+// time.Time values are fine: the simulator's entire contract is that sim
+// code expresses instants as time.Duration offsets from the run start.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// realTimeBoundary lists the packages allowed to touch the wall clock: the
+// virtual-time foundation itself and the capture/powermon layer that meets
+// real hardware and real packet timestamps.
+var realTimeBoundary = []string{
+	"etrain/internal/simtime",
+	"etrain/internal/powermon",
+	"etrain/internal/capture",
+}
+
+// NoTime forbids wall-clock reads (time.Now, time.Since, time.Sleep, ...)
+// outside the sanctioned real-time boundary. The paper's results are
+// replayed deterministic traces; one time.Now in a sim path silently breaks
+// bit-identical reruns.
+var NoTime = &Analyzer{
+	Name: "notime",
+	Doc: "forbid time.Now/Since/Sleep and friends outside internal/simtime " +
+		"and the capture/powermon real-time boundary; sim code takes " +
+		"time.Duration clocks",
+	Exempt: func(pkgPath string) bool {
+		return pathIsAny(pkgPath, realTimeBoundary...)
+	},
+	Run: runNoTime,
+}
+
+func runNoTime(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+			if !ok || pkgName.Imported().Path() != "time" {
+				return true
+			}
+			if wallClockFuncs[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(),
+					"time.%s reads the wall clock outside the real-time boundary; sim code must take instants as time.Duration offsets (or an injected clock)",
+					sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"etrain/internal/analysis"
+	"etrain/internal/analysis/analysistest"
+)
+
+// Each analyzer runs against a violating fixture package and against the
+// fixture standing in for its sanctioned (exempt) package: the exempt run
+// must produce zero diagnostics even though the code would otherwise trip
+// the check.
+
+func TestNoTime(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), analysis.NoTime,
+		"notime", "etrain/internal/simtime")
+}
+
+func TestNoRand(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), analysis.NoRand,
+		"norand", "etrain/internal/randx")
+}
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), analysis.MapOrder,
+		"maporder")
+}
+
+func TestUnits(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), analysis.Units,
+		"units")
+}
+
+func TestCtxLoop(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), analysis.CtxLoop,
+		"etrain/internal/parallel", "ctxloopscope")
+}

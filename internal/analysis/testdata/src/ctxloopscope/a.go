@@ -1,0 +1,14 @@
+// Package ctxloopscope contains the same goroutine shapes that ctxloop
+// flags in the fan-out layers — but this package is outside ctxloop's
+// scope, so none of them may be reported.
+package ctxloopscope
+
+func fireAndForget(jobs []int) {
+	for _, j := range jobs {
+		go func() {
+			process(j)
+		}()
+	}
+}
+
+func process(int) {}

@@ -1,0 +1,12 @@
+// Package simtime stands in for the real etrain/internal/simtime: it sits
+// inside the sanctioned real-time boundary, so its wall-clock reads must
+// produce no notime diagnostics.
+package simtime
+
+import "time"
+
+// WallAnchor timestamps the start of a capture session in real time.
+func WallAnchor() time.Time { return time.Now() }
+
+// RealSleep blocks real time; only the boundary may do this.
+func RealSleep(d time.Duration) { time.Sleep(d) }

@@ -1,0 +1,20 @@
+// Package ignores exercises the //lint:ignore directive machinery: a
+// justified directive suppresses, an unjustified one is itself reported.
+package ignores
+
+import "time"
+
+func justified() time.Time {
+	//lint:ignore notime fixture: directive with a justification suppresses
+	return time.Now()
+}
+
+func unjustified() time.Time {
+	//lint:ignore notime
+	return time.Now()
+}
+
+func wrongName() time.Time {
+	//lint:ignore norand fixture: directive for a different analyzer does not suppress
+	return time.Now()
+}

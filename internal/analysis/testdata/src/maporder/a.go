@@ -1,0 +1,59 @@
+// Package maporder exercises the maporder analyzer: map iteration feeding
+// rendered output is flagged unless the keys take a sorted detour.
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func renderDirect(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `map iterated in randomized order while writing output`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func renderCollectedUnsorted(w io.Writer, m map[string]int) {
+	var lines []string
+	for k := range m { // want `no sort between loop and render`
+		lines = append(lines, k)
+	}
+	for _, l := range lines {
+		fmt.Fprintln(w, l)
+	}
+}
+
+func renderSorted(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+func buildString(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want `map iterated in randomized order while writing output`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+func aggregateOnly(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func sliceRange(w io.Writer, rows []string) {
+	for _, r := range rows {
+		fmt.Fprintln(w, r)
+	}
+}

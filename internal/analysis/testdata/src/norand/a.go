@@ -1,0 +1,21 @@
+// Package norand exercises the norand analyzer: direct stdlib rand imports
+// are flagged, drawing through the randx boundary is not.
+package norand
+
+import (
+	crand "crypto/rand" // want `import of crypto/rand outside internal/randx`
+	mrand "math/rand"   // want `import of math/rand outside internal/randx`
+
+	"etrain/internal/randx"
+)
+
+func entropy() []byte {
+	buf := make([]byte, 8)
+	_, _ = crand.Read(buf)
+	return buf
+}
+
+func draw() int64 {
+	_ = mrand.Int()
+	return randx.New(42).Int63()
+}

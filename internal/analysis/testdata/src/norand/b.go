@@ -1,0 +1,7 @@
+package norand
+
+import "math/rand/v2" // want `import of math/rand/v2 outside internal/randx`
+
+func drawV2() uint64 {
+	return rand.Uint64()
+}

@@ -1,0 +1,27 @@
+// Package notime exercises the notime analyzer: wall-clock reads are
+// flagged, time.Duration arithmetic and constructors are not.
+package notime
+
+import "time"
+
+func bad() time.Time {
+	time.Sleep(time.Second)          // want `time\.Sleep reads the wall clock`
+	if time.Since(time.Time{}) > 0 { // want `time\.Since reads the wall clock`
+		_ = time.Now() // want `time\.Now reads the wall clock`
+	}
+	t := time.NewTimer(time.Second) // want `time\.NewTimer reads the wall clock`
+	defer t.Stop()
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func good(now time.Duration) time.Duration {
+	deadline := now + 5*time.Second
+	step := time.Duration(3) * time.Millisecond
+	when := time.Unix(0, int64(deadline))
+	_ = when
+	return deadline + step
+}
+
+func justified() time.Time {
+	return time.Now() //lint:ignore notime test fixture for the sanctioned trailing-ignore form
+}

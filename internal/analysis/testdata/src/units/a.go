@@ -1,0 +1,75 @@
+// Package units exercises the units analyzer: additive unit mixing, large
+// bare literals crossing watt boundaries, and magic scale factors.
+package units
+
+import "time"
+
+// Watts is a named power type.
+type Watts float64
+
+// PowerMW is the DCH draw in milliwatts.
+var PowerMW = 700.0
+
+// PowerW is the DCH draw in watts.
+var PowerW = 0.7
+
+// milliwattsPerWatt is the sanctioned named conversion.
+const milliwattsPerWatt = 1000.0
+
+func mixedAdd() float64 {
+	return PowerMW + PowerW // want `\+ mixes mW and W operands`
+}
+
+func mixedCompare(tailJ, drawW float64) bool {
+	return tailJ > drawW // want `> mixes J and W operands`
+}
+
+func magicScale() float64 {
+	return PowerW * 1000 // want `magic scale factor 1000 applied to a W operand`
+}
+
+func magicDivide(energyJoules float64) float64 {
+	return energyJoules / 3600 // want `magic scale factor 3600 applied to a J operand`
+}
+
+func namedScale() float64 {
+	return PowerW * milliwattsPerWatt
+}
+
+func bigConversion() Watts {
+	return Watts(700) // want `bare literal 700 converted to a W-carrying type`
+}
+
+func smallConversion() Watts {
+	return Watts(0.7)
+}
+
+// Radio carries doc-comment units: PD's unit comes from its doc line, not
+// its name.
+type Radio struct {
+	// PD is the DCH draw, in watts.
+	PD float64
+	// TailMW is the tail draw in milliwatts.
+	TailMW float64
+}
+
+func docMixed(r Radio) float64 {
+	return r.PD + r.TailMW // want `\+ mixes W and mW operands`
+}
+
+func keyedLiteral() Radio {
+	return Radio{PD: 700, TailMW: 700} // want `bare literal 700 assigned to W-carrying field PD`
+}
+
+func durationsAreFine(d time.Duration) float64 {
+	window := 60 * time.Second
+	_ = 1000 * time.Millisecond
+	if d > window {
+		d = window
+	}
+	return d.Seconds()
+}
+
+func sameUnits(aW, bW float64) float64 {
+	return aW + bW
+}

@@ -1,0 +1,423 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Units guards the energy arithmetic's unit discipline. The paper's figures
+// arrive in milliwatts (p̃_D = 700 mW) while the model computes in watts and
+// joules; one silent mW/W slip shifts every result by three orders of
+// magnitude. Three rules:
+//
+//  1. additive mixing — `+`, `-` and comparisons between operands whose
+//     inferred units differ (mW vs W, s vs ms, W vs J, ...);
+//  2. literal boundary crossing — a bare numeric literal ≥ 50 converted or
+//     assigned to a watt/joule-carrying type or field (700 where watts are
+//     expected is almost certainly a milliwatt figure);
+//  3. magic scale factors — `* 1000`, `/ 3600`, `* 1e6`, ... applied to a
+//     unit-carrying operand instead of a named conversion constant such as
+//     radio.MilliwattsPerWatt (time.Duration operands are exempt: `60 *
+//     time.Second` is idiomatic and named by the time constants).
+//
+// Units are inferred from identifier and field-name suffixes (PowerW,
+// EnergyJoules, CapacityMAh), from declared type names (Watts,
+// time.Duration), from Duration accessor calls (.Seconds() → s), and from
+// declaration doc comments carrying "in watts" / "in milliseconds" phrases.
+var Units = &Analyzer{
+	Name: "units",
+	Doc: "flag arithmetic mixing mW/W/J/s/ms operands and magic scale " +
+		"factors crossing unit boundaries without a named conversion constant",
+	Run: runUnits,
+}
+
+// unit is a coarse unit tag: "mW", "W", "J", "mJ", "s", "ms", "A", "mA",
+// "mAh", "V", "dur" (time.Duration) or "" (unknown).
+type unit string
+
+// nameSuffixUnits maps identifier suffixes to units, longest match first.
+var nameSuffixUnits = []struct {
+	suffix string
+	u      unit
+}{
+	{"Milliwatts", "mW"}, {"MilliW", "mW"}, {"MW", "mW"}, {"mW", "mW"},
+	{"Millijoules", "mJ"}, {"MilliJ", "mJ"}, {"mJ", "mJ"},
+	{"Milliseconds", "ms"}, {"Millis", "ms"}, {"Msec", "ms"},
+	{"MilliampHours", "mAh"}, {"MAh", "mAh"}, {"mAh", "mAh"},
+	{"Milliamps", "mA"},
+	{"Watts", "W"}, {"Joules", "J"},
+	{"Seconds", "s"}, {"Secs", "s"},
+	{"Amps", "A"}, {"Volts", "V"}, {"Voltage", "V"},
+}
+
+// exactNameUnits maps whole lowercase identifiers (typically parameters) to
+// units.
+var exactNameUnits = map[string]unit{
+	"watts": "W", "watt": "W", "milliwatts": "mW",
+	"joules": "J", "millijoules": "mJ",
+	"seconds": "s", "secs": "s", "millis": "ms",
+	"voltage": "V", "volts": "V", "amps": "A", "mah": "mAh",
+}
+
+// singleLetterUnits are trailing capital letters that tag a unit when
+// preceded by a lowercase letter: PowerW, CurrentA, TotalJ, MinV.
+var singleLetterUnits = map[byte]unit{'W': "W", 'J': "J", 'A': "A", 'V': "V"}
+
+// docUnitRE extracts a unit from a declaration's doc comment: the phrases
+// "in watts", "in milliseconds", "in amperes", "in mAh", ...
+var docUnitRE = regexp.MustCompile(`\bin (milliwatts|watts|millijoules|joules|milliseconds|seconds|amperes|amps|milliamp-hours|mAh|mW|mJ|ms|volts)\b`)
+
+var docPhraseUnits = map[string]unit{
+	"milliwatts": "mW", "watts": "W", "mW": "mW",
+	"millijoules": "mJ", "joules": "J", "mJ": "mJ",
+	"milliseconds": "ms", "ms": "ms", "seconds": "s",
+	"amperes": "A", "amps": "A", "milliamp-hours": "mAh", "mAh": "mAh",
+	"volts": "V",
+}
+
+// dimensionTable folds units through * and /: enough algebra to see that
+// joules / watts is seconds, so `CapacityJoules() / watts / 3600` carries a
+// unit into the magic-scale rule.
+var dimensionTable = map[[3]string]unit{
+	{"J", "/", "W"}: "s", {"J", "/", "s"}: "W",
+	{"W", "*", "s"}: "J", {"s", "*", "W"}: "J",
+	{"mJ", "/", "mW"}: "s", {"mW", "*", "s"}: "mJ", {"s", "*", "mW"}: "mJ",
+	{"W", "/", "V"}: "A", {"mW", "/", "V"}: "mA",
+	{"W", "*", "V"}: "", {"V", "*", "A"}: "W", {"A", "*", "V"}: "W",
+}
+
+// magicScales are the scale factors that must appear as named constants
+// when they touch a unit-carrying operand.
+var magicScales = map[float64]bool{
+	1000: true, 0.001: true, 1e6: true, 1e-6: true, 1e9: true, 1e-9: true,
+	3600: true,
+}
+
+// literalBoundary is the smallest bare literal treated as suspicious when
+// converted to a watt/joule-carrying type: watt-scale model parameters are
+// O(1), milliwatt figures are O(100).
+const literalBoundary = 50
+
+type unitsPass struct {
+	pass *Pass
+	// docUnits carries doc-comment-derived units for this package's
+	// declarations.
+	docUnits map[types.Object]unit
+}
+
+func runUnits(pass *Pass) error {
+	up := &unitsPass{pass: pass, docUnits: collectDocUnits(pass)}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.BinaryExpr:
+				up.checkBinary(v)
+			case *ast.CallExpr:
+				up.checkConversion(v)
+			case *ast.CompositeLit:
+				up.checkCompositeLit(v)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// collectDocUnits scans declaration doc comments for "in <unit>" phrases and
+// attaches the unit to the declared object. Fields and package-level vars /
+// consts are covered; the unit applies when the name itself carries none.
+func collectDocUnits(pass *Pass) map[types.Object]unit {
+	out := map[types.Object]unit{}
+	record := func(names []*ast.Ident, doc *ast.CommentGroup) {
+		if doc == nil {
+			return
+		}
+		m := docUnitRE.FindStringSubmatch(doc.Text())
+		if m == nil {
+			return
+		}
+		u := docPhraseUnits[m[1]]
+		for _, name := range names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				out[obj] = u
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.Field:
+				record(v.Names, v.Doc)
+			case *ast.ValueSpec:
+				record(v.Names, v.Doc)
+			case *ast.GenDecl:
+				// An unparenthesized `var x = ...` hangs its doc off the
+				// GenDecl, not the spec.
+				if len(v.Specs) == 1 {
+					if spec, ok := v.Specs[0].(*ast.ValueSpec); ok && spec.Doc == nil {
+						record(spec.Names, v.Doc)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func (up *unitsPass) checkBinary(e *ast.BinaryExpr) {
+	switch e.Op {
+	case token.ADD, token.SUB, token.LSS, token.LEQ, token.GTR, token.GEQ,
+		token.EQL, token.NEQ:
+		ux, uy := up.unitOf(e.X), up.unitOf(e.Y)
+		if ux != "" && uy != "" && ux != uy {
+			up.pass.Reportf(e.OpPos,
+				"%s mixes %s and %s operands; convert through a named constant first",
+				e.Op, ux, uy)
+		}
+	case token.MUL, token.QUO:
+		up.checkMagicScale(e)
+	}
+}
+
+// checkMagicScale flags `unitValue * 1000`-style scale factors.
+func (up *unitsPass) checkMagicScale(e *ast.BinaryExpr) {
+	for _, pair := range [2][2]ast.Expr{{e.X, e.Y}, {e.Y, e.X}} {
+		lit, other := pair[0], pair[1]
+		v, ok := up.literalValue(lit)
+		if !ok || !magicScales[v] {
+			continue
+		}
+		u := up.unitOf(other)
+		if u == "" || u == "dur" || up.isDurationTyped(other) {
+			continue
+		}
+		up.pass.Reportf(e.OpPos,
+			"magic scale factor %v applied to a %s operand; name the conversion (e.g. milliwattsPerWatt, secondsPerHour)",
+			v, u)
+		return
+	}
+}
+
+// checkConversion flags T(700)-style conversions of large bare literals
+// into watt/joule-carrying types.
+func (up *unitsPass) checkConversion(call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := up.pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	u := typeUnit(tv.Type)
+	if u != "W" && u != "J" {
+		return
+	}
+	if v, ok := up.literalValue(call.Args[0]); ok && v >= literalBoundary {
+		up.pass.Reportf(call.Pos(),
+			"bare literal %v converted to a %s-carrying type; paper figures are milliwatts — use a named conversion (e.g. FromMilliwatts)",
+			v, u)
+	}
+}
+
+// checkCompositeLit flags {PowerW: 700}-style keyed literals.
+func (up *unitsPass) checkCompositeLit(lit *ast.CompositeLit) {
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		u := up.unitOfIdent(key)
+		if u != "W" && u != "J" {
+			continue
+		}
+		if v, ok := up.literalValue(kv.Value); ok && v >= literalBoundary {
+			up.pass.Reportf(kv.Pos(),
+				"bare literal %v assigned to %s-carrying field %s; looks like a milliwatt figure crossing a watt boundary",
+				v, u, key.Name)
+		}
+	}
+}
+
+// literalValue returns the numeric value of a bare (possibly parenthesized
+// or negated) literal expression.
+func (up *unitsPass) literalValue(e ast.Expr) (float64, bool) {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		if v.Kind != token.INT && v.Kind != token.FLOAT {
+			return 0, false
+		}
+	case *ast.UnaryExpr:
+		if v.Op != token.SUB {
+			return 0, false
+		}
+		if _, ok := ast.Unparen(v.X).(*ast.BasicLit); !ok {
+			return 0, false
+		}
+	default:
+		return 0, false
+	}
+	tv, ok := up.pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	f, _ := constant.Float64Val(constant.ToFloat(tv.Value))
+	return f, true
+}
+
+// durationAccessorUnits maps time.Duration accessor methods to the float
+// unit of their result.
+var durationAccessorUnits = map[string]unit{
+	"Seconds": "s", "Milliseconds": "ms", "Microseconds": "", "Nanoseconds": "",
+	"Hours": "", "Minutes": "",
+}
+
+// unitOf infers the unit of an expression, "" when unknown.
+func (up *unitsPass) unitOf(e ast.Expr) unit {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return up.unitOfIdent(v)
+	case *ast.SelectorExpr:
+		return up.unitOfIdent(v.Sel)
+	case *ast.UnaryExpr:
+		return up.unitOf(v.X)
+	case *ast.CallExpr:
+		return up.unitOfCall(v)
+	case *ast.BinaryExpr:
+		if v.Op == token.MUL || v.Op == token.QUO {
+			ux, uy := up.unitOf(v.X), up.unitOf(v.Y)
+			if ux == "dur" || uy == "dur" {
+				return ""
+			}
+			if ux != "" && uy != "" {
+				op := "*"
+				if v.Op == token.QUO {
+					op = "/"
+				}
+				return dimensionTable[[3]string{string(ux), op, string(uy)}]
+			}
+			// A bare scale factor rescales but does not change the
+			// dimension: (CapacityMAh / 1000) still carries mAh into
+			// the next magic-factor check.
+			if ux != "" {
+				return ux
+			}
+			if uy != "" && v.Op == token.MUL {
+				return uy
+			}
+			return ""
+		}
+		if v.Op == token.ADD || v.Op == token.SUB {
+			ux, uy := up.unitOf(v.X), up.unitOf(v.Y)
+			if ux == uy {
+				return ux
+			}
+		}
+		return ""
+	default:
+		return ""
+	}
+}
+
+func (up *unitsPass) unitOfIdent(id *ast.Ident) unit {
+	obj := up.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = up.pass.TypesInfo.Defs[id]
+	}
+	if u := unitOfName(id.Name); u != "" {
+		return u
+	}
+	if obj != nil {
+		if u, ok := up.docUnits[obj]; ok {
+			return u
+		}
+		return typeUnit(obj.Type())
+	}
+	return ""
+}
+
+func (up *unitsPass) unitOfCall(call *ast.CallExpr) unit {
+	// Type conversion: unit of the target type.
+	if tv, ok := up.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return typeUnit(tv.Type)
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		// Duration accessors: d.Seconds() is float seconds.
+		if recv, ok := up.pass.TypesInfo.Types[sel.X]; ok && isDuration(recv.Type) {
+			if u, ok := durationAccessorUnits[sel.Sel.Name]; ok {
+				return u
+			}
+		}
+		return up.unitOfIdent(sel.Sel)
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		return up.unitOfIdent(id)
+	}
+	return ""
+}
+
+func (up *unitsPass) isDurationTyped(e ast.Expr) bool {
+	tv, ok := up.pass.TypesInfo.Types[e]
+	return ok && isDuration(tv.Type)
+}
+
+// unitOfName infers a unit from an identifier's name.
+func unitOfName(name string) unit {
+	if u, ok := exactNameUnits[strings.ToLower(name)]; ok && isLowerWord(name) {
+		return u
+	}
+	for _, s := range nameSuffixUnits {
+		// Equality counts: a field literally named Watts carries the unit.
+		if strings.HasSuffix(name, s.suffix) {
+			return s.u
+		}
+	}
+	if len(name) >= 2 {
+		last := name[len(name)-1]
+		prev := name[len(name)-2]
+		if u, ok := singleLetterUnits[last]; ok && prev >= 'a' && prev <= 'z' {
+			return u
+		}
+	}
+	return ""
+}
+
+func isLowerWord(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < 'a' || s[i] > 'z' {
+			return false
+		}
+	}
+	return true
+}
+
+// typeUnit infers a unit from a (possibly named) type.
+func typeUnit(t types.Type) unit {
+	if t == nil {
+		return ""
+	}
+	if isDuration(t) {
+		return "dur"
+	}
+	if named, ok := t.(*types.Named); ok {
+		return unitOfName(named.Obj().Name())
+	}
+	return ""
+}
+
+func isDuration(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Duration" && obj.Pkg() != nil && obj.Pkg().Path() == "time"
+}

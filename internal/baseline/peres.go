@@ -58,6 +58,10 @@ type PerES struct {
 
 var _ sched.Strategy = (*PerES)(nil)
 
+// defaultVRange spans MinV to the default MaxV of the V-parameter search.
+// V here is PerES's Lyapunov control knob (the paper's V), not volts.
+const defaultVRange = 1000
+
 // NewPerES returns a PerES instance.
 func NewPerES(opts PerESOptions) (*PerES, error) {
 	if opts.Omega < 0 {
@@ -73,7 +77,7 @@ func NewPerES(opts PerESOptions) (*PerES, error) {
 		opts.MinV = 0.05
 	}
 	if opts.MaxV < opts.MinV {
-		opts.MaxV = opts.MinV * 1000
+		opts.MaxV = opts.MinV * defaultVRange
 	}
 	if opts.Gamma <= 0 {
 		opts.Gamma = 0.01

@@ -9,6 +9,15 @@ import (
 	"time"
 )
 
+// Unit-conversion constants, named so the units analyzer can prove every
+// scale crossing in the capacity arithmetic is intentional.
+const (
+	// milliampHoursPerAmpHour converts the rated mAh figure to amp-hours.
+	milliampHoursPerAmpHour = 1000.0
+	// secondsPerHour converts amp-hours to coulombs (A·s).
+	secondsPerHour = 3600.0
+)
+
 // Battery describes a phone battery.
 type Battery struct {
 	// CapacityMAh is the rated capacity in milliamp-hours.
@@ -35,7 +44,7 @@ func (b Battery) Validate() error {
 
 // CapacityJoules returns the battery's total energy: mAh → C × V.
 func (b Battery) CapacityJoules() float64 {
-	return b.CapacityMAh / 1000 * 3600 * b.Voltage
+	return b.CapacityMAh / milliampHoursPerAmpHour * secondsPerHour * b.Voltage
 }
 
 // DrainFraction returns the fraction of capacity a given energy represents.
@@ -65,5 +74,5 @@ func (b Battery) StandbyHours(watts float64) float64 {
 	if watts <= 0 {
 		return 0
 	}
-	return b.CapacityJoules() / watts / 3600
+	return b.CapacityJoules() / watts / secondsPerHour
 }

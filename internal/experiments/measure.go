@@ -209,11 +209,12 @@ func Fig4(opts Options) (*Table, error) {
 	for _, s := range tl.PowerTrace(model, horizon, 500*time.Millisecond) {
 		if s.State != prevState {
 			tbl.AddRow(fmt.Sprintf("%.1f", s.At.Seconds()), s.State.String(),
-				fmt.Sprintf("%.0f", s.Watts*1000))
+				fmt.Sprintf("%.0f", radio.ToMilliwatts(s.Watts)))
 			prevState = s.State
 		}
 	}
 	tbl.AddNote("paper Fig. 4: DCH %.0f mW for δD=%.1fs, FACH %.0f mW for δF=%.1fs, then IDLE",
-		model.PD*1000, model.DeltaD.Seconds(), model.PF*1000, model.DeltaF.Seconds())
+		radio.ToMilliwatts(model.PD), model.DeltaD.Seconds(),
+		radio.ToMilliwatts(model.PF), model.DeltaF.Seconds())
 	return tbl, nil
 }

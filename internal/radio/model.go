@@ -48,12 +48,26 @@ func (s State) String() string {
 	}
 }
 
+// MilliwattsPerWatt converts between the paper's milliwatt figures and the
+// model's watt units. Every mW↔W crossing in the repository goes through
+// this constant (or the FromMilliwatts/ToMilliwatts helpers) so the units
+// analyzer can prove no magic 1000 slips into the energy arithmetic.
+const MilliwattsPerWatt = 1000.0
+
+// FromMilliwatts converts a paper-style milliwatt figure to watts.
+func FromMilliwatts(mw float64) float64 { return mw / MilliwattsPerWatt }
+
+// ToMilliwatts converts a model-side watt value to milliwatts for display
+// alongside the paper's tables.
+func ToMilliwatts(w float64) float64 { return w * MilliwattsPerWatt }
+
 // PowerModel holds the power-state parameters of a device's cellular radio.
 // Powers are expressed in watts above the IDLE baseline, energies in joules.
 type PowerModel struct {
-	// PD is p̃_D, the extra power drawn in DCH (and while transmitting).
+	// PD is p̃_D, the extra power drawn in DCH (and while transmitting),
+	// in watts.
 	PD float64
-	// PF is p̃_F, the extra power drawn in FACH.
+	// PF is p̃_F, the extra power drawn in FACH, in watts.
 	PF float64
 	// DeltaD is δ_D, the time spent in DCH after a transmission ends.
 	DeltaD time.Duration
@@ -71,8 +85,8 @@ type PowerModel struct {
 // p̃_F = 450 mW, δ_D = 10 s, δ_F = 7.5 s.
 func GalaxyS43G() PowerModel {
 	return PowerModel{
-		PD:     0.700,
-		PF:     0.450,
+		PD:     FromMilliwatts(700),
+		PF:     FromMilliwatts(450),
 		DeltaD: 10 * time.Second,
 		DeltaF: 7500 * time.Millisecond,
 	}
@@ -85,8 +99,8 @@ func GalaxyS43G() PowerModel {
 // short-DRX before the idle long-DRX baseline.
 func LTE() PowerModel {
 	return PowerModel{
-		PD:     1.060,
-		PF:     0.500,
+		PD:     FromMilliwatts(1060),
+		PF:     FromMilliwatts(500),
 		DeltaD: 10 * time.Second,
 		DeltaF: 1600 * time.Millisecond,
 	}
@@ -98,8 +112,8 @@ func LTE() PowerModel {
 // batching schemes matter little on WiFi.
 func WiFi() PowerModel {
 	return PowerModel{
-		PD:     0.400,
-		PF:     0.100,
+		PD:     FromMilliwatts(400),
+		PF:     FromMilliwatts(100),
 		DeltaD: 240 * time.Millisecond,
 		DeltaF: 60 * time.Millisecond,
 	}

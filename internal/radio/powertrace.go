@@ -2,6 +2,10 @@ package radio
 
 import "time"
 
+// DefaultTraceStep is the sampling period used when PowerTrace is given a
+// non-positive step: 100 ms, the paper's power-monitor sampling period.
+const DefaultTraceStep = 100 * time.Millisecond
+
 // PowerSample is one instantaneous power reading.
 type PowerSample struct {
 	// At is the virtual instant of the sample.
@@ -17,7 +21,7 @@ type PowerSample struct {
 // Fig. 2 and Fig. 4 and feeds the simulated power monitor.
 func (tl *Timeline) PowerTrace(m PowerModel, horizon, step time.Duration) []PowerSample {
 	if step <= 0 {
-		step = 100 * time.Millisecond
+		step = DefaultTraceStep
 	}
 	n := int(horizon / step)
 	out := make([]PowerSample, 0, n)

@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz lint vet determinism clean
+.PHONY: all build test race fuzz lint vet determinism bench-json fleet-smoke clean
 
 all: build test lint
 
@@ -38,6 +38,26 @@ lint: vet
 		echo "govulncheck not installed; skipping (CI runs it)"; \
 	fi
 
+# Machine-readable benchmark snapshot: every benchmark (including
+# BenchmarkFleet10k) once through cmd/etrain-benchjson into
+# BENCH_fleet.json (name -> ns/op, B/op, allocs/op). Raise BENCHTIME for
+# steadier numbers.
+BENCHTIME ?= 1x
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./... \
+		| $(GO) run ./cmd/etrain-benchjson > BENCH_fleet.json
+	@echo "wrote BENCH_fleet.json"
+
+# Fleet engine end-to-end check, same as the CI fleet job: a 2k-device
+# population at 1 and 8 workers must render byte-identical reports, and
+# the checkpoint/resume tests must hold under the race detector.
+fleet-smoke:
+	$(GO) build -o /tmp/etrain-fleet ./cmd/etrain-fleet
+	/tmp/etrain-fleet -devices 2000 -workers 1 -quiet > /tmp/etrain-fleet-w1.txt
+	/tmp/etrain-fleet -devices 2000 -workers 8 -quiet > /tmp/etrain-fleet-w8.txt
+	diff -u /tmp/etrain-fleet-w1.txt /tmp/etrain-fleet-w8.txt
+	$(GO) test -race ./internal/fleet -run 'Halt|Resume|Checkpoint' -count=1
+
 # End-to-end determinism check: full registry, sequential vs 8 workers,
 # byte-compared — same as the CI determinism job.
 determinism:
@@ -49,3 +69,4 @@ determinism:
 clean:
 	$(GO) clean ./...
 	rm -f /tmp/etrain-experiments /tmp/etrain-seq.txt /tmp/etrain-par.txt
+	rm -f /tmp/etrain-fleet /tmp/etrain-fleet-w1.txt /tmp/etrain-fleet-w8.txt

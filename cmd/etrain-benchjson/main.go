@@ -1,0 +1,117 @@
+// Command etrain-benchjson converts `go test -bench` text output on stdin
+// into a machine-readable JSON map on stdout, keyed "pkg.BenchmarkName":
+//
+//	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/etrain-benchjson
+//
+// yields
+//
+//	{
+//	  "etrain/internal/fleet.BenchmarkFleet10k": {
+//	    "ns_per_op": 1234567,
+//	    "bytes_per_op": 89,
+//	    "allocs_per_op": 3
+//	  },
+//	  ...
+//	}
+//
+// Keys are emitted sorted, so the output is diff-stable across runs of the
+// same benchmark set. When a benchmark appears multiple times (e.g.
+// -count), the last measurement wins.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one benchmark's parsed measurements.
+type benchResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+func main() {
+	results, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "etrain-benchjson:", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "etrain-benchjson:", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(append(data, '\n'))
+}
+
+// parseBench scans go-test benchmark output: "pkg:" header lines set the
+// current package, "Benchmark..." lines carry (iterations, value unit)
+// measurement pairs.
+func parseBench(r io.Reader) (map[string]benchResult, error) {
+	out := map[string]benchResult{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// name, iteration count, then (value, unit) pairs.
+		if len(fields) < 4 {
+			continue
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue
+		}
+		var res benchResult
+		measured := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+				measured = true
+			case "B/op":
+				res.BytesPerOp = v
+				measured = true
+			case "allocs/op":
+				res.AllocsPerOp = v
+				measured = true
+			}
+		}
+		if !measured {
+			continue
+		}
+		out[benchKey(pkg, fields[0])] = res
+	}
+	return out, sc.Err()
+}
+
+// benchKey joins the package path and the benchmark name, dropping the
+// -GOMAXPROCS suffix go test appends to the name.
+func benchKey(pkg, name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	if pkg == "" {
+		return name
+	}
+	return pkg + "." + name
+}

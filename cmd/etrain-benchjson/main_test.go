@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: etrain/internal/fleet
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkDevicePair 	      20	   1402296 ns/op	  250296 B/op	    2963 allocs/op
+BenchmarkFleet10k-8 	       1	28000000000 ns/op
+PASS
+ok  	etrain/internal/fleet	0.034s
+pkg: etrain/internal/stats
+BenchmarkSketchAdd-8   	12345678	        95.31 ns/op	       0 B/op	       0 allocs/op
+testing: some unrelated chatter
+Benchmark
+ok  	etrain/internal/stats	1.2s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d entries, want 3: %v", len(got), got)
+	}
+	pair := got["etrain/internal/fleet.BenchmarkDevicePair"]
+	if pair.NsPerOp != 1402296 || pair.BytesPerOp != 250296 || pair.AllocsPerOp != 2963 {
+		t.Errorf("DevicePair = %+v", pair)
+	}
+	fleet := got["etrain/internal/fleet.BenchmarkFleet10k"]
+	if fleet.NsPerOp != 28000000000 {
+		t.Errorf("Fleet10k = %+v (GOMAXPROCS suffix not stripped?)", fleet)
+	}
+	sketch := got["etrain/internal/stats.BenchmarkSketchAdd"]
+	if sketch.NsPerOp != 95.31 {
+		t.Errorf("SketchAdd = %+v", sketch)
+	}
+}
+
+func TestParseMixedGarbage(t *testing.T) {
+	got, err := parseBench(strings.NewReader("no benchmarks here\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("parsed %v from garbage", got)
+	}
+}
+
+func TestBenchKey(t *testing.T) {
+	if k := benchKey("", "BenchmarkX-16"); k != "BenchmarkX" {
+		t.Errorf("benchKey = %q", k)
+	}
+	if k := benchKey("p", "BenchmarkSub/case-a-8"); k != "p.BenchmarkSub/case-a" {
+		t.Errorf("benchKey = %q", k)
+	}
+}

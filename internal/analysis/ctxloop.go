@@ -6,12 +6,14 @@ import (
 	"go/types"
 )
 
-// fanOutPackages are the layers ctxloop patrols: the worker pool and the
-// simulation runner that fans runs across it. Stray goroutines here are
-// exactly the ones that can outlive a sweep and race its result slots.
+// fanOutPackages are the layers ctxloop patrols: the worker pool, the
+// simulation runner that fans runs across it, and the fleet engine that
+// shards populations over the pool. Stray goroutines here are exactly the
+// ones that can outlive a sweep and race its result slots.
 var fanOutPackages = []string{
 	"etrain/internal/parallel",
 	"etrain/internal/sim",
+	"etrain/internal/fleet",
 }
 
 // CtxLoop checks goroutine hygiene in the fan-out layers:

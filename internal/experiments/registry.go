@@ -38,6 +38,7 @@ func All() []Entry {
 		{"fig10b", "controlled Θ sweep: ~30% energy down for ~30% delay up", Fig10b},
 		{"fig10c", "larger shared deadlines save more energy", Fig10c},
 		{"fig11", "active users save the most energy (23.1% vs 13.3%)", Fig11},
+		{"fig11pop", "population-scale fig11: per-class saving deciles via the fleet engine", Fig11Pop},
 	}
 }
 

@@ -1,0 +1,139 @@
+package fleet
+
+import (
+	"fmt"
+
+	"etrain/internal/stats"
+)
+
+// ClassAggregate is the streaming summary of every simulated device of one
+// activeness class: constant-size mergeable moments plus quantile sketches,
+// never the per-device samples. Two aggregates built from the same device
+// multiset are bit-identical regardless of how the devices were grouped,
+// which is what lets shard aggregates merge into a worker-count-independent
+// report.
+type ClassAggregate struct {
+	// Devices counts the devices folded in.
+	Devices int `json:"devices"`
+	// WithoutJ and WithJ summarize per-device total energy in joules
+	// without and with eTrain; SavedJ their difference.
+	WithoutJ stats.Moments `json:"without_j"`
+	WithJ    stats.Moments `json:"with_j"`
+	SavedJ   stats.Moments `json:"saved_j"`
+	// Saving summarizes the per-device fractional saving 1 - with/without.
+	Saving stats.Moments `json:"saving"`
+	// DelayS and Violation summarize the with-eTrain mean delay (seconds)
+	// and deadline-violation ratio.
+	DelayS    stats.Moments `json:"delay_s"`
+	Violation stats.Moments `json:"violation"`
+
+	// Quantile sketches over the same per-device values.
+	SavedSketch  *stats.Sketch `json:"saved_sketch"`
+	SavingSketch *stats.Sketch `json:"saving_sketch"`
+	DelaySketch  *stats.Sketch `json:"delay_sketch"`
+}
+
+// newClassAggregate returns an empty aggregate with sketches at the given
+// relative accuracy.
+func newClassAggregate(alpha float64) (ClassAggregate, error) {
+	var a ClassAggregate
+	var err error
+	if a.SavedSketch, err = stats.NewSketch(alpha); err != nil {
+		return a, err
+	}
+	if a.SavingSketch, err = stats.NewSketch(alpha); err != nil {
+		return a, err
+	}
+	if a.DelaySketch, err = stats.NewSketch(alpha); err != nil {
+		return a, err
+	}
+	return a, nil
+}
+
+// add folds one device outcome in.
+func (a *ClassAggregate) add(o deviceOutcome) {
+	saved := o.withoutJ - o.withJ
+	saving := 0.0
+	if o.withoutJ > 0 {
+		saving = saved / o.withoutJ
+	}
+	a.Devices++
+	a.WithoutJ.Add(o.withoutJ)
+	a.WithJ.Add(o.withJ)
+	a.SavedJ.Add(saved)
+	a.Saving.Add(saving)
+	a.DelayS.Add(o.delayS)
+	a.Violation.Add(o.violation)
+	a.SavedSketch.Add(saved)
+	a.SavingSketch.Add(saving)
+	a.DelaySketch.Add(o.delayS)
+}
+
+// merge folds another aggregate of the same class in.
+func (a *ClassAggregate) merge(o *ClassAggregate) error {
+	a.Devices += o.Devices
+	a.WithoutJ.Merge(o.WithoutJ)
+	a.WithJ.Merge(o.WithJ)
+	a.SavedJ.Merge(o.SavedJ)
+	a.Saving.Merge(o.Saving)
+	a.DelayS.Merge(o.DelayS)
+	a.Violation.Merge(o.Violation)
+	if err := a.SavedSketch.Merge(o.SavedSketch); err != nil {
+		return err
+	}
+	if err := a.SavingSketch.Merge(o.SavingSketch); err != nil {
+		return err
+	}
+	return a.DelaySketch.Merge(o.DelaySketch)
+}
+
+// ShardAggregate is one shard's complete summary: a ClassAggregate per mix
+// entry, in mix order. It is the unit of checkpointing — a completed
+// shard's aggregate fully replaces re-simulating its devices.
+type ShardAggregate struct {
+	// Shard is the shard index.
+	Shard int `json:"shard"`
+	// Devices counts the shard's devices.
+	Devices int `json:"devices"`
+	// Classes holds one aggregate per mix entry, in mix order.
+	Classes []ClassAggregate `json:"classes"`
+}
+
+// newShardAggregate returns an empty aggregate for shard s over a mix of
+// the given size.
+func newShardAggregate(s, classes int, alpha float64) (*ShardAggregate, error) {
+	agg := &ShardAggregate{Shard: s, Classes: make([]ClassAggregate, classes)}
+	for c := range agg.Classes {
+		var err error
+		if agg.Classes[c], err = newClassAggregate(alpha); err != nil {
+			return nil, err
+		}
+	}
+	return agg, nil
+}
+
+// add folds one device outcome into its class.
+func (s *ShardAggregate) add(o deviceOutcome) {
+	s.Devices++
+	s.Classes[o.classIndex].add(o)
+}
+
+// validateShape checks a deserialized aggregate against the run's layout.
+func (s *ShardAggregate) validateShape(cfg *Config) error {
+	if s.Shard < 0 || s.Shard >= cfg.shardCount() {
+		return fmt.Errorf("fleet: shard index %d outside [0, %d)", s.Shard, cfg.shardCount())
+	}
+	if len(s.Classes) != len(cfg.Mix) {
+		return fmt.Errorf("fleet: shard %d has %d classes, config has %d", s.Shard, len(s.Classes), len(cfg.Mix))
+	}
+	lo, hi := cfg.shardRange(s.Shard)
+	if s.Devices != hi-lo {
+		return fmt.Errorf("fleet: shard %d has %d devices, config expects %d", s.Shard, s.Devices, hi-lo)
+	}
+	for c := range s.Classes {
+		if s.Classes[c].SavedSketch == nil || s.Classes[c].SavingSketch == nil || s.Classes[c].DelaySketch == nil {
+			return fmt.Errorf("fleet: shard %d class %d is missing sketches", s.Shard, c)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,42 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkDevicePair measures one device's with/without-eTrain run pair —
+// the fleet engine's unit of work.
+func BenchmarkDevicePair(b *testing.B) {
+	cfg := Config{Devices: 1, Seed: 1, Theta: 4.0, K: 20}
+	norm, pop, err := cfg.normalize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := runDevice(&norm, pop, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFleet10k runs a 10k-device population end to end (one CPU per
+// worker, 2-minute sessions) — the guardrail number for population-scale
+// throughput and aggregate memory.
+func BenchmarkFleet10k(b *testing.B) {
+	cfg := Config{
+		Devices: 10000,
+		Workers: -1,
+		Seed:    42,
+		Horizon: 2 * time.Minute,
+		Theta:   4.0,
+		K:       20,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"etrain/internal/bandwidth"
+	"etrain/internal/baseline"
+	"etrain/internal/core"
+	"etrain/internal/heartbeat"
+	"etrain/internal/profile"
+	"etrain/internal/radio"
+	"etrain/internal/randx"
+	"etrain/internal/sim"
+	"etrain/internal/workload"
+)
+
+// sessionDeadline is the deadline of session upload/download packets,
+// matching the paper's controlled Weibo replay (§VI-D: 30 s).
+const sessionDeadline = 30 * time.Second
+
+// deviceNamespace salts device seeds so a fleet device at index i never
+// shares a stream with any other consumer of the same base seed.
+var deviceNamespace = randx.DeriveString("etrain/fleet/device")
+
+// deviceOutcome is one device's measured with/without-eTrain run pair.
+type deviceOutcome struct {
+	classIndex int
+	withoutJ   float64 // total energy without eTrain (transmit on arrival)
+	withJ      float64 // total energy with eTrain
+	delayS     float64 // with-eTrain mean packet delay
+	violation  float64 // with-eTrain deadline-violation ratio
+}
+
+// runDevice simulates device i twice — transmit-on-arrival versus eTrain —
+// over identical heartbeat trains, cargo and bandwidth. Everything is
+// derived from (cfg.Seed, i) in a fixed draw order, so the outcome is a
+// pure function of the device's identity.
+func runDevice(cfg *Config, pop *workload.Population, i int) (deviceOutcome, error) {
+	seed := randx.Derive(cfg.Seed, deviceNamespace, uint64(i))
+	src := randx.New(seed)
+	classIndex, class := pop.Pick(src.Float64())
+	trains := deviceTrains(src)
+	trace := workload.SynthesizeSession(src.Split(), fmt.Sprintf("device-%d", i), class, cfg.Horizon)
+	session := workload.PacketsFromTrace(trace, profile.Weibo(sessionDeadline))
+	background, err := workload.Generate(src.Split(), backgroundSpecs(class), cfg.Horizon)
+	if err != nil {
+		return deviceOutcome{}, err
+	}
+	bw, err := bandwidth.Synthesize(src.Split(), cfg.Horizon, nil)
+	if err != nil {
+		return deviceOutcome{}, err
+	}
+
+	base := sim.Config{
+		Horizon:   cfg.Horizon,
+		Trains:    trains,
+		Packets:   mergePackets(session, background),
+		Bandwidth: bw,
+		Power:     radio.GalaxyS43G(),
+		Seed:      seed,
+	}
+	without := base
+	without.Strategy = baseline.NewImmediate()
+	resWithout, err := sim.Run(without)
+	if err != nil {
+		return deviceOutcome{}, fmt.Errorf("without eTrain: %w", err)
+	}
+	strategy, err := core.New(core.Options{Theta: cfg.Theta, K: cfg.K})
+	if err != nil {
+		return deviceOutcome{}, err
+	}
+	with := base
+	with.Strategy = strategy
+	resWith, err := sim.Run(with)
+	if err != nil {
+		return deviceOutcome{}, fmt.Errorf("with eTrain: %w", err)
+	}
+
+	mWithout, mWith := resWithout.Metrics(), resWith.Metrics()
+	return deviceOutcome{
+		classIndex: classIndex,
+		withoutJ:   mWithout.EnergyJ,
+		withJ:      mWith.EnergyJ,
+		delayS:     mWith.AvgDelayS,
+		violation:  mWith.ViolationRatio,
+	}, nil
+}
+
+// deviceTrains draws the device's heartbeat apps: a contiguous cyclic
+// subset of the paper's trio, 1–3 apps, so fleets exercise every train
+// count of Fig. 10a.
+func deviceTrains(src *randx.Source) []heartbeat.TrainApp {
+	trio := heartbeat.DefaultTrio()
+	n := 1 + src.Intn(len(trio))
+	start := src.Intn(len(trio))
+	trains := make([]heartbeat.TrainApp, 0, n)
+	for i := 0; i < n; i++ {
+		trains = append(trains, trio[(start+i)%len(trio)])
+	}
+	return trains
+}
+
+// backgroundSpecs returns the device's delay-tolerant background cargo
+// (mail + cloud sync), with arrival rates scaled by the activeness class:
+// active users generate more background traffic, inactive users less.
+func backgroundSpecs(class workload.ActivenessClass) []workload.CargoSpec {
+	factor := activityFactor(class)
+	specs := []workload.CargoSpec{workload.MailSpec(), workload.CloudSpec()}
+	for i := range specs {
+		specs[i].MeanInterArrival = time.Duration(float64(specs[i].MeanInterArrival) / factor)
+	}
+	return specs
+}
+
+// activityFactor is the background-rate multiplier per activeness class.
+func activityFactor(class workload.ActivenessClass) float64 {
+	switch class {
+	case workload.ClassActive:
+		return 1.5
+	case workload.ClassModerate:
+		return 1.0
+	default:
+		return 0.5
+	}
+}
+
+// mergePackets interleaves the session replay with the background cargo by
+// arrival time and reassigns globally unique IDs in arrival order, as the
+// sim queues require.
+func mergePackets(session, background []workload.Packet) []workload.Packet {
+	all := make([]workload.Packet, 0, len(session)+len(background))
+	all = append(all, session...)
+	all = append(all, background...)
+	sort.SliceStable(all, func(i, j int) bool { return all[i].ArrivedAt < all[j].ArrivedAt })
+	for i := range all {
+		all[i].ID = i
+	}
+	return all
+}

@@ -1,0 +1,290 @@
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"etrain/internal/stats"
+	"etrain/internal/workload"
+)
+
+// testConfig is a small population that still exercises multiple shards,
+// a ragged final shard and every activeness class.
+func testConfig() Config {
+	return Config{
+		Devices:   40,
+		ShardSize: 8,
+		Seed:      7,
+		Horizon:   2 * time.Minute,
+		Theta:     4.0,
+		K:         20,
+	}
+}
+
+func mustRun(t *testing.T, cfg Config) *Report {
+	t.Helper()
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return rep
+}
+
+func renderReport(t *testing.T, rep *Report) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := rep.Fprint(&buf); err != nil {
+		t.Fatalf("Fprint: %v", err)
+	}
+	return buf.String()
+}
+
+// TestRunDeterministicAcrossWorkers pins the headline contract: the
+// rendered report is byte-identical at 1, 4 and 8 workers.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	base := testConfig()
+	base.Workers = 1
+	want := renderReport(t, mustRun(t, base))
+	for _, workers := range []int{4, 8} {
+		cfg := testConfig()
+		cfg.Workers = workers
+		if got := renderReport(t, mustRun(t, cfg)); got != want {
+			t.Errorf("report at %d workers differs from 1 worker:\n%s\nvs\n%s", workers, got, want)
+		}
+	}
+}
+
+// TestRunAccounting checks the population bookkeeping: every device lands
+// in exactly one class and the total row sums them.
+func TestRunAccounting(t *testing.T) {
+	rep := mustRun(t, testConfig())
+	if rep.Total.Devices != 40 {
+		t.Errorf("total devices %d, want 40", rep.Total.Devices)
+	}
+	sum := 0
+	for _, row := range rep.Classes {
+		sum += row.Agg.Devices
+	}
+	if sum != 40 {
+		t.Errorf("class device counts sum to %d, want 40", sum)
+	}
+	if rep.Shards != 5 {
+		t.Errorf("shards = %d, want 5", rep.Shards)
+	}
+	if rep.Total.WithoutJ.Mean() <= 0 {
+		t.Error("degenerate run: zero baseline energy")
+	}
+	if rep.ConfigHash == "" {
+		t.Error("empty config hash")
+	}
+}
+
+// TestHaltResumeByteIdenticalAtEveryBoundary kills the run at every shard
+// boundary, resumes from the snapshot, and requires the resumed report to
+// match the uninterrupted one byte for byte.
+func TestHaltResumeByteIdenticalAtEveryBoundary(t *testing.T) {
+	cfg := testConfig()
+	want := renderReport(t, mustRun(t, cfg))
+	const shards = 5
+	for k := 0; k < shards; k++ {
+		k := k
+		t.Run(fmt.Sprintf("halt_after_%d", k), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "fleet.ckpt")
+			interrupted := cfg
+			interrupted.CheckpointPath = path
+			interrupted.CheckpointEvery = 1
+			var completed atomic.Int64
+			interrupted.Progress = func(done, total int) { completed.Store(int64(done)) }
+			interrupted.Halt = func() bool { return completed.Load() >= int64(k) }
+			if _, err := Run(interrupted); !errors.Is(err, ErrHalted) {
+				t.Fatalf("interrupted run returned %v, want ErrHalted", err)
+			}
+			resumed := cfg
+			resumed.CheckpointPath = path
+			resumed.Resume = true
+			start := -1
+			resumed.Progress = func(done, total int) {
+				if start == -1 {
+					start = done
+				}
+			}
+			rep := mustRun(t, resumed)
+			if start < k {
+				t.Errorf("resume restored %d shards, want at least %d", start, k)
+			}
+			if got := renderReport(t, rep); got != want {
+				t.Errorf("resumed report differs from uninterrupted run:\n%s\nvs\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestHaltResumeAcrossWorkerCounts interrupts a parallel run and resumes at
+// a different worker count: the snapshot is worker-agnostic.
+func TestHaltResumeAcrossWorkerCounts(t *testing.T) {
+	cfg := testConfig()
+	want := renderReport(t, mustRun(t, cfg))
+	path := filepath.Join(t.TempDir(), "fleet.ckpt")
+	interrupted := cfg
+	interrupted.Workers = 4
+	interrupted.CheckpointPath = path
+	interrupted.CheckpointEvery = 1
+	var completed atomic.Int64
+	interrupted.Progress = func(done, total int) { completed.Store(int64(done)) }
+	interrupted.Halt = func() bool { return completed.Load() >= 2 }
+	if _, err := Run(interrupted); !errors.Is(err, ErrHalted) {
+		t.Fatalf("interrupted run returned %v, want ErrHalted", err)
+	}
+	resumed := cfg
+	resumed.Workers = 3
+	resumed.CheckpointPath = path
+	resumed.Resume = true
+	if got := renderReport(t, mustRun(t, resumed)); got != want {
+		t.Errorf("cross-worker resume differs:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestResumeFromCompleteCheckpoint resumes a finished run: nothing is
+// simulated again and the report is unchanged.
+func TestResumeFromCompleteCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.ckpt")
+	full := testConfig()
+	full.CheckpointPath = path
+	want := renderReport(t, mustRun(t, full))
+	resumed := testConfig()
+	resumed.CheckpointPath = path
+	resumed.Resume = true
+	start := -1
+	resumed.Progress = func(done, total int) {
+		if start == -1 {
+			start = done
+		}
+	}
+	if got := renderReport(t, mustRun(t, resumed)); got != want {
+		t.Errorf("resume-from-complete differs:\n%s\nvs\n%s", got, want)
+	}
+	if start != 5 {
+		t.Errorf("resume restored %d shards, want all 5", start)
+	}
+}
+
+// TestResumeRejectsMismatchedConfig: a snapshot from one simulation
+// identity must not seed another.
+func TestResumeRejectsMismatchedConfig(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.ckpt")
+	full := testConfig()
+	full.CheckpointPath = path
+	mustRun(t, full)
+	for name, mutate := range map[string]func(*Config){
+		"seed":       func(c *Config) { c.Seed++ },
+		"theta":      func(c *Config) { c.Theta = 1.0 },
+		"shard_size": func(c *Config) { c.ShardSize = 10 },
+		"horizon":    func(c *Config) { c.Horizon = 3 * time.Minute },
+	} {
+		cfg := testConfig()
+		cfg.CheckpointPath = path
+		cfg.Resume = true
+		mutate(&cfg)
+		if _, err := Run(cfg); !errors.Is(err, ErrCheckpointMismatch) {
+			t.Errorf("%s mutation: Run returned %v, want ErrCheckpointMismatch", name, err)
+		}
+	}
+}
+
+// TestResumeRejectsCorruptCheckpoint covers the non-hash validation paths.
+func TestResumeRejectsCorruptCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.ckpt")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.CheckpointPath = path
+	cfg.Resume = true
+	if _, err := Run(cfg); err == nil {
+		t.Error("corrupt checkpoint accepted")
+	}
+	cfg.CheckpointPath = filepath.Join(t.TempDir(), "missing.ckpt")
+	if _, err := Run(cfg); err == nil {
+		t.Error("missing checkpoint accepted")
+	}
+}
+
+// TestConfigValidation exercises normalize's error paths.
+func TestConfigValidation(t *testing.T) {
+	cases := map[string]func(*Config){
+		"no_devices":     func(c *Config) { c.Devices = 0 },
+		"neg_shard":      func(c *Config) { c.ShardSize = -1 },
+		"neg_horizon":    func(c *Config) { c.Horizon = -time.Second },
+		"neg_theta":      func(c *Config) { c.Theta = -1 },
+		"neg_k":          func(c *Config) { c.K = -2 },
+		"bad_alpha":      func(c *Config) { c.SketchAlpha = 1.5 },
+		"neg_ckpt_every": func(c *Config) { c.CheckpointEvery = -1 },
+		"resume_no_path": func(c *Config) { c.Resume = true },
+		"bad_mix_weight": func(c *Config) { c.Mix = []workload.ClassShare{{Class: workload.ClassActive, Weight: -1}} },
+	}
+	for name, mutate := range cases {
+		mutate := mutate
+		t.Run(name, func(t *testing.T) {
+			cfg := testConfig()
+			mutate(&cfg)
+			if _, _, err := cfg.normalize(); err == nil {
+				t.Errorf("%s accepted", name)
+			}
+		})
+	}
+}
+
+// TestNormalizeDefaults pins the documented zero-value behavior.
+func TestNormalizeDefaults(t *testing.T) {
+	norm, pop, err := (Config{Devices: 10}).normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pop == nil {
+		t.Fatal("nil population")
+	}
+	if norm.ShardSize != DefaultShardSize || norm.K != DefaultK || norm.Workers != 1 {
+		t.Errorf("defaults: shard=%d k=%d workers=%d", norm.ShardSize, norm.K, norm.Workers)
+	}
+	if norm.Horizon != workload.SessionLength {
+		t.Errorf("default horizon %v", norm.Horizon)
+	}
+	if norm.SketchAlpha != stats.DefaultSketchAlpha {
+		t.Errorf("default alpha %v", norm.SketchAlpha)
+	}
+}
+
+// TestHashIgnoresExecutionKnobs: worker count and checkpoint cadence are
+// not part of the simulation identity; seed and layout are.
+func TestHashIgnoresExecutionKnobs(t *testing.T) {
+	base, _, err := testConfig().normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := testConfig()
+	other.Workers = 8
+	other.CheckpointEvery = 3
+	other.CheckpointPath = "x"
+	normOther, _, err := other.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.hash() != normOther.hash() {
+		t.Error("hash depends on execution knobs")
+	}
+	seeded := testConfig()
+	seeded.Seed++
+	normSeeded, _, err := seeded.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.hash() == normSeeded.hash() {
+		t.Error("hash ignores seed")
+	}
+}

@@ -1,0 +1,139 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"etrain/internal/stats"
+)
+
+// ClassRow pairs a class label with its population-wide aggregate.
+type ClassRow struct {
+	// Label is the activeness-class name of the mix entry.
+	Label string
+	// Agg is the class's aggregate over every shard.
+	Agg ClassAggregate
+}
+
+// Report is the population summary: per-class and total aggregates, plus
+// the identity the run was produced under. Its rendering is a pure
+// function of its fields — byte-identical at any worker count and across
+// checkpoint/resume.
+type Report struct {
+	// Devices, Shards and ShardSize describe the population layout.
+	Devices   int
+	Shards    int
+	ShardSize int
+	// Horizon, Theta, K, Seed and SketchAlpha echo the effective config.
+	Horizon     time.Duration
+	Theta       float64
+	K           int
+	Seed        int64
+	SketchAlpha float64
+	// ConfigHash names the run's simulation identity (Config.hash).
+	ConfigHash string
+	// Classes holds one row per mix entry, in mix order.
+	Classes []ClassRow
+	// Total aggregates every device regardless of class.
+	Total ClassAggregate
+}
+
+// buildReport merges shard aggregates — strictly in shard-index order, the
+// determinism keystone — into the final per-class and total aggregates.
+func buildReport(cfg *Config, hash string, aggs []*ShardAggregate) (*Report, error) {
+	r := &Report{
+		Devices:     cfg.Devices,
+		Shards:      len(aggs),
+		ShardSize:   cfg.ShardSize,
+		Horizon:     cfg.Horizon,
+		Theta:       cfg.Theta,
+		K:           cfg.K,
+		Seed:        cfg.Seed,
+		SketchAlpha: cfg.SketchAlpha,
+		ConfigHash:  hash,
+	}
+	var err error
+	if r.Total, err = newClassAggregate(cfg.SketchAlpha); err != nil {
+		return nil, err
+	}
+	r.Classes = make([]ClassRow, len(cfg.Mix))
+	for c, share := range cfg.Mix {
+		r.Classes[c].Label = share.Class.String()
+		if r.Classes[c].Agg, err = newClassAggregate(cfg.SketchAlpha); err != nil {
+			return nil, err
+		}
+	}
+	for s, agg := range aggs {
+		if agg == nil {
+			return nil, fmt.Errorf("fleet: shard %d has no aggregate", s)
+		}
+		if agg.Shard != s {
+			return nil, fmt.Errorf("fleet: aggregate at position %d claims shard %d", s, agg.Shard)
+		}
+		if len(agg.Classes) != len(r.Classes) {
+			return nil, fmt.Errorf("fleet: shard %d has %d classes, want %d", s, len(agg.Classes), len(r.Classes))
+		}
+		for c := range agg.Classes {
+			if err := r.Classes[c].Agg.merge(&agg.Classes[c]); err != nil {
+				return nil, fmt.Errorf("fleet: shard %d class %d: %w", s, c, err)
+			}
+			if err := r.Total.merge(&agg.Classes[c]); err != nil {
+				return nil, fmt.Errorf("fleet: shard %d class %d: %w", s, c, err)
+			}
+		}
+	}
+	return r, nil
+}
+
+// Fprint renders the report as a deterministic aligned-text table.
+func (r *Report) Fprint(w io.Writer) error {
+	if _, err := fmt.Fprintf(w,
+		"eTrain fleet report\ndevices=%d shards=%d shard_size=%d horizon=%s theta=%g k=%d seed=%d alpha=%g\nconfig_hash=%s\n\n",
+		r.Devices, r.Shards, r.ShardSize, r.Horizon, r.Theta, r.K, r.Seed, r.SketchAlpha, r.ConfigHash,
+	); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 0, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "class\tdevices\twithout_J\twith_J\tsaved_J\tsaved_J_p50\tsaving_p10\tsaving_p50\tsaving_p90\tdelay_s_p50\tviolation")
+	for _, row := range r.Classes {
+		printAggRow(tw, row.Label, &row.Agg)
+	}
+	printAggRow(tw, "all", &r.Total)
+	return tw.Flush()
+}
+
+// printAggRow writes one aggregate as a table row (means from the moments,
+// percentiles from the sketches; "-" where the class is empty).
+func printAggRow(w io.Writer, label string, a *ClassAggregate) {
+	fmt.Fprintf(w, "%s\t%d\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
+		label, a.Devices,
+		meanCell(a.WithoutJ, "%.2f"),
+		meanCell(a.WithJ, "%.2f"),
+		meanCell(a.SavedJ, "%.2f"),
+		quantileCell(a.SavedSketch, 50, "%.2f"),
+		quantileCell(a.SavingSketch, 10, "%.4f"),
+		quantileCell(a.SavingSketch, 50, "%.4f"),
+		quantileCell(a.SavingSketch, 90, "%.4f"),
+		quantileCell(a.DelaySketch, 50, "%.3f"),
+		meanCell(a.Violation, "%.4f"),
+	)
+}
+
+// meanCell formats a moments mean, or "-" when empty.
+func meanCell(m stats.Moments, format string) string {
+	if m.N() == 0 {
+		return "-"
+	}
+	return fmt.Sprintf(format, m.Mean())
+}
+
+// quantileCell formats a sketch quantile, or "-" when empty.
+func quantileCell(s *stats.Sketch, p float64, format string) string {
+	v, err := s.Quantile(p)
+	if err != nil {
+		return "-"
+	}
+	return fmt.Sprintf(format, v)
+}

@@ -90,6 +90,19 @@ func (e Errors) Unwrap() []error {
 // into a pre-sized slice at index i), which keeps output independent of
 // scheduling order.
 func ForEach(limit Limit, n int, fn func(i int) error) error {
+	return ForEachStatus(limit, n, fn, nil)
+}
+
+// ForEachStatus is ForEach with a completion hook: after each job
+// finishes, done(i, err) is invoked with the job's index and outcome.
+// Calls to done are serialized under one internal mutex and happen after
+// the job's own writes, so a hook may safely read what job i produced,
+// maintain shared progress state, or snapshot the results of every job it
+// has been told about — that is what the fleet engine's progress reporting
+// and shard-boundary checkpoints hang off. Completion order is whatever
+// the scheduler produced; anything that must be deterministic belongs in
+// an index-ordered pass after ForEachStatus returns.
+func ForEachStatus(limit Limit, n int, fn func(i int) error, done func(i int, err error)) error {
 	if n <= 0 {
 		return nil
 	}
@@ -101,13 +114,21 @@ func ForEach(limit Limit, n int, fn func(i int) error) error {
 		mu   sync.Mutex
 		errs Errors
 	)
+	finish := func(i int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			errs = append(errs, IndexedError{Index: i, Err: err})
+		}
+		if done != nil {
+			done(i, err)
+		}
+	}
 	// A sequential budget (or a single job) needs no goroutines at all;
 	// running inline keeps stack traces and profiles readable.
 	if limit.Cap() == 1 || n == 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				errs = append(errs, IndexedError{Index: i, Err: err})
-			}
+			finish(i, fn(i))
 		}
 		if len(errs) > 0 {
 			return errs
@@ -120,11 +141,7 @@ func ForEach(limit Limit, n int, fn func(i int) error) error {
 		go func(i int) {
 			defer wg.Done()
 			defer limit.Release()
-			if err := fn(i); err != nil {
-				mu.Lock()
-				errs = append(errs, IndexedError{Index: i, Err: err})
-				mu.Unlock()
-			}
+			finish(i, fn(i))
 		}(i)
 	}
 	wg.Wait()

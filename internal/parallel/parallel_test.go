@@ -133,3 +133,88 @@ func TestForEachZeroJobs(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestForEachStatusSerializedHook checks the ForEachStatus contract: done
+// fires exactly once per job with the job's outcome, hook calls never
+// overlap, and a hook reading what completed jobs wrote observes those
+// writes (the happens-before edge checkpointing relies on).
+func TestForEachStatusSerializedHook(t *testing.T) {
+	const n = 64
+	results := make([]int, n)
+	var (
+		inHook   atomic.Int32
+		calls    = make([]int, n)
+		observed atomic.Int32
+	)
+	err := ForEachStatus(NewLimit(8), n, func(i int) error {
+		results[i] = i * i
+		if i%5 == 0 {
+			return fmt.Errorf("job %d boom", i)
+		}
+		return nil
+	}, func(i int, err error) {
+		if inHook.Add(1) != 1 {
+			t.Error("done hook overlapped with another")
+		}
+		defer inHook.Add(-1)
+		calls[i]++
+		if (i%5 == 0) != (err != nil) {
+			t.Errorf("job %d: err = %v", i, err)
+		}
+		if results[i] != i*i {
+			t.Errorf("hook for %d cannot see the job's write", i)
+		}
+		observed.Add(1)
+	})
+	if observed.Load() != n {
+		t.Fatalf("hook ran %d times, want %d", observed.Load(), n)
+	}
+	for i, c := range calls {
+		if c != 1 {
+			t.Fatalf("job %d hook ran %d times", i, c)
+		}
+	}
+	var errs Errors
+	if !errors.As(err, &errs) {
+		t.Fatalf("err = %v, want Errors", err)
+	}
+	if len(errs) != (n+4)/5 {
+		t.Fatalf("got %d errors, want %d", len(errs), (n+4)/5)
+	}
+}
+
+// TestForEachStatusSequentialInline covers the inline (no-goroutine) path:
+// hooks fire in index order when the budget is one worker.
+func TestForEachStatusSequentialInline(t *testing.T) {
+	var order []int
+	err := ForEachStatus(NewLimit(1), 5, func(i int) error {
+		return nil
+	}, func(i int, err error) {
+		order = append(order, i)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("sequential hook order %v", order)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("hook ran %d times, want 5", len(order))
+	}
+}
+
+// TestForEachStatusNilHook: ForEach is ForEachStatus with a nil hook.
+func TestForEachStatusNilHook(t *testing.T) {
+	var ran atomic.Int32
+	if err := ForEachStatus(NewLimit(4), 16, func(i int) error {
+		ran.Add(1)
+		return nil
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 16 {
+		t.Fatalf("ran %d jobs, want 16", ran.Load())
+	}
+}

@@ -1,0 +1,32 @@
+package sim
+
+// Metrics is the compact, fixed-size summary of one run that
+// population-scale aggregation folds into streaming accumulators. Unlike
+// Result it holds no per-packet state, so a fleet of a million devices
+// carries O(1) memory per device instead of O(packets).
+type Metrics struct {
+	// EnergyJ is the run's total radio energy in joules.
+	EnergyJ float64
+	// AvgDelayS is the normalized (mean per-packet) delay in seconds.
+	AvgDelayS float64
+	// ViolationRatio is the fraction of data packets past their deadline.
+	ViolationRatio float64
+	// DataPackets counts transmitted cargo packets.
+	DataPackets int
+	// Heartbeats counts heartbeat transmissions.
+	Heartbeats int
+	// ForcedFlush counts packets drained unscheduled at the horizon.
+	ForcedFlush int
+}
+
+// Metrics summarizes the run.
+func (r *Result) Metrics() Metrics {
+	return Metrics{
+		EnergyJ:        r.Energy.Total(),
+		AvgDelayS:      r.NormalizedDelay().Seconds(),
+		ViolationRatio: r.DeadlineViolationRatio(),
+		DataPackets:    len(r.Packets),
+		Heartbeats:     r.HeartbeatCount,
+		ForcedFlush:    r.ForcedFlushCount,
+	}
+}

@@ -1,0 +1,36 @@
+package sim
+
+import (
+	"testing"
+
+	"etrain/internal/baseline"
+)
+
+// TestMetricsMatchesResult pins Metrics to the Result methods it
+// summarizes: same energy, delay, violation ratio and counts.
+func TestMetricsMatchesResult(t *testing.T) {
+	cfg := paperConfig(t, 3)
+	res := runWith(t, cfg, baseline.NewImmediate())
+	m := res.Metrics()
+	if m.EnergyJ != res.Energy.Total() {
+		t.Errorf("EnergyJ = %v, want %v", m.EnergyJ, res.Energy.Total())
+	}
+	if m.AvgDelayS != res.NormalizedDelay().Seconds() {
+		t.Errorf("AvgDelayS = %v, want %v", m.AvgDelayS, res.NormalizedDelay().Seconds())
+	}
+	if m.ViolationRatio != res.DeadlineViolationRatio() {
+		t.Errorf("ViolationRatio = %v, want %v", m.ViolationRatio, res.DeadlineViolationRatio())
+	}
+	if m.DataPackets != len(res.Packets) {
+		t.Errorf("DataPackets = %d, want %d", m.DataPackets, len(res.Packets))
+	}
+	if m.Heartbeats != res.HeartbeatCount {
+		t.Errorf("Heartbeats = %d, want %d", m.Heartbeats, res.HeartbeatCount)
+	}
+	if m.ForcedFlush != res.ForcedFlushCount {
+		t.Errorf("ForcedFlush = %d, want %d", m.ForcedFlush, res.ForcedFlushCount)
+	}
+	if m.DataPackets == 0 || m.Heartbeats == 0 {
+		t.Fatalf("degenerate run: %+v", m)
+	}
+}

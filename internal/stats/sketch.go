@@ -1,0 +1,251 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DefaultSketchAlpha is the default relative accuracy of a quantile
+// sketch: estimates are within 1% of the exact-sort quantile value.
+const DefaultSketchAlpha = 0.01
+
+// sketchZeroThreshold is the magnitude below which a value lands in the
+// sketch's zero bucket instead of a logarithmic one. It bounds the lowest
+// bucket index the sketch can produce.
+const sketchZeroThreshold = 1e-9
+
+// Sketch is a deterministic, mergeable quantile sketch: integer counts on
+// a fixed, data-independent logarithmic bucket grid (the DDSketch bucket
+// family), mirrored for negative values plus a zero bucket for
+// |v| ≤ 1e-9.
+//
+// Because the grid is fixed and the state is pure integer counts, the
+// sketch state is a function of the inserted multiset alone: insertion
+// order is invisible, and Merge (count addition) is exactly associative
+// and commutative at the bit level — stronger than the shard-index-order
+// merge discipline the fleet engine imposes anyway.
+//
+// Accuracy: buckets partition the value axis order-preservingly, so the
+// bucket where the cumulative count reaches rank k provably contains the
+// k-th smallest sample. The returned bucket representative is therefore
+// within relative error Alpha of the exact nearest-rank quantile (within
+// the zero threshold for near-zero values).
+//
+// Memory is bounded by the number of distinct occupied buckets, which the
+// grid caps at a few thousand across float64's practical range —
+// independent of how many samples are added.
+type Sketch struct {
+	alpha    float64
+	gamma    float64
+	logGamma float64
+	count    uint64
+	zero     uint64
+	pos      map[int]uint64
+	neg      map[int]uint64
+}
+
+// NewSketch returns an empty sketch with the given relative accuracy
+// alpha in (0, 1).
+func NewSketch(alpha float64) (*Sketch, error) {
+	if !(alpha > 0 && alpha < 1) {
+		return nil, fmt.Errorf("stats: sketch alpha %v outside (0, 1)", alpha)
+	}
+	return newSketch(alpha), nil
+}
+
+// newSketch builds the sketch; gamma and logGamma are recomputed from
+// alpha with the exact same operations on every construction (including
+// checkpoint restore), so equal alphas always yield bit-equal grids.
+func newSketch(alpha float64) *Sketch {
+	gamma := (1 + alpha) / (1 - alpha)
+	return &Sketch{
+		alpha:    alpha,
+		gamma:    gamma,
+		logGamma: math.Log(gamma),
+		pos:      make(map[int]uint64),
+		neg:      make(map[int]uint64),
+	}
+}
+
+// Alpha returns the sketch's relative accuracy.
+func (s *Sketch) Alpha() float64 { return s.alpha }
+
+// Count returns how many samples were added.
+func (s *Sketch) Count() uint64 { return s.count }
+
+// bucketIndex maps a magnitude v > sketchZeroThreshold to its bucket: i
+// such that v ∈ (γ^(i−1), γ^i].
+func (s *Sketch) bucketIndex(v float64) int {
+	return int(math.Ceil(math.Log(v) / s.logGamma))
+}
+
+// representative returns the mid-bucket value 2γ^i/(γ+1), which is within
+// relative alpha of every value in bucket i.
+func (s *Sketch) representative(i int) float64 {
+	return 2 * math.Pow(s.gamma, float64(i)) / (s.gamma + 1)
+}
+
+// Add inserts one sample.
+func (s *Sketch) Add(v float64) {
+	s.count++
+	switch {
+	case math.Abs(v) <= sketchZeroThreshold:
+		s.zero++
+	case v > 0:
+		s.pos[s.bucketIndex(v)]++
+	default:
+		s.neg[s.bucketIndex(-v)]++
+	}
+}
+
+// Merge folds other into s by adding bucket counts. Both sketches must
+// share the same alpha (the same grid).
+func (s *Sketch) Merge(other *Sketch) error {
+	if other == nil || other.count == 0 {
+		return nil
+	}
+	if s.alpha != other.alpha {
+		return fmt.Errorf("stats: merging sketches with different alphas %v and %v", s.alpha, other.alpha)
+	}
+	s.count += other.count
+	s.zero += other.zero
+	for _, b := range sortedBuckets(other.pos) {
+		s.pos[b.index] += b.count
+	}
+	for _, b := range sortedBuckets(other.neg) {
+		s.neg[b.index] += b.count
+	}
+	return nil
+}
+
+// Quantile returns the p-th percentile (0–100) under the same
+// nearest-rank rule as Percentile: the estimate's bucket contains the
+// sample of rank ⌈p/100·n⌉, so the returned value is within relative
+// Alpha of the exact-sort answer.
+func (s *Sketch) Quantile(p float64) (float64, error) {
+	if s.count == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := uint64(math.Ceil(p / 100 * float64(s.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.count {
+		rank = s.count
+	}
+
+	// Walk buckets in ascending value order: negatives from largest
+	// magnitude down, then zero, then positives up.
+	cum := uint64(0)
+	negBuckets := sortedBuckets(s.neg)
+	for i := len(negBuckets) - 1; i >= 0; i-- {
+		cum += negBuckets[i].count
+		if cum >= rank {
+			return -s.representative(negBuckets[i].index), nil
+		}
+	}
+	cum += s.zero
+	if cum >= rank {
+		return 0, nil
+	}
+	for _, b := range sortedBuckets(s.pos) {
+		cum += b.count
+		if cum >= rank {
+			return s.representative(b.index), nil
+		}
+	}
+	// Unreachable: cumulative counts sum to s.count ≥ rank.
+	return 0, fmt.Errorf("stats: sketch rank %d beyond %d counted samples", rank, cum)
+}
+
+// bucket is one occupied grid cell.
+type bucket struct {
+	index int
+	count uint64
+}
+
+// sortedBuckets returns the occupied buckets in ascending index order —
+// the canonical traversal for queries, merges and serialization, so no
+// map-iteration order ever reaches an output.
+func sortedBuckets(m map[int]uint64) []bucket {
+	out := make([]bucket, 0, len(m))
+	for i, c := range m {
+		out = append(out, bucket{index: i, count: c})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].index < out[b].index })
+	return out
+}
+
+// sketchBucketJSON is one serialized bucket.
+type sketchBucketJSON struct {
+	Index int    `json:"i"`
+	Count uint64 `json:"c"`
+}
+
+// sketchJSON is the checkpoint wire form: alpha plus integer counts. The
+// grid constants are recomputed from alpha on load, so a restored sketch
+// is bit-equal to the one serialized.
+type sketchJSON struct {
+	Alpha float64            `json:"alpha"`
+	Count uint64             `json:"count"`
+	Zero  uint64             `json:"zero"`
+	Pos   []sketchBucketJSON `json:"pos,omitempty"`
+	Neg   []sketchBucketJSON `json:"neg,omitempty"`
+}
+
+func bucketsJSON(m map[int]uint64) []sketchBucketJSON {
+	bs := sortedBuckets(m)
+	out := make([]sketchBucketJSON, len(bs))
+	for i, b := range bs {
+		out[i] = sketchBucketJSON{Index: b.index, Count: b.count}
+	}
+	return out
+}
+
+// MarshalJSON implements json.Marshaler with buckets in ascending index
+// order, so equal sketch states serialize to equal bytes.
+func (s *Sketch) MarshalJSON() ([]byte, error) {
+	return json.Marshal(sketchJSON{
+		Alpha: s.alpha,
+		Count: s.count,
+		Zero:  s.zero,
+		Pos:   bucketsJSON(s.pos),
+		Neg:   bucketsJSON(s.neg),
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *Sketch) UnmarshalJSON(data []byte) error {
+	var w sketchJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("stats: sketch: %w", err)
+	}
+	if !(w.Alpha > 0 && w.Alpha < 1) {
+		return fmt.Errorf("stats: sketch alpha %v outside (0, 1)", w.Alpha)
+	}
+	restored := newSketch(w.Alpha)
+	restored.count = w.Count
+	restored.zero = w.Zero
+	total := w.Zero
+	for _, b := range w.Pos {
+		restored.pos[b.Index] += b.Count
+		total += b.Count
+	}
+	for _, b := range w.Neg {
+		restored.neg[b.Index] += b.Count
+		total += b.Count
+	}
+	if total != w.Count {
+		return fmt.Errorf("stats: sketch bucket counts sum to %d, header says %d", total, w.Count)
+	}
+	*s = *restored
+	return nil
+}

@@ -1,0 +1,218 @@
+package stats
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"etrain/internal/randx"
+)
+
+func newTestSketch(t *testing.T, alpha float64) *Sketch {
+	t.Helper()
+	s, err := NewSketch(alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func sketchOf(samples []float64) *Sketch {
+	s := newSketch(DefaultSketchAlpha)
+	for _, v := range samples {
+		s.Add(v)
+	}
+	return s
+}
+
+// sketchBytes serializes a sketch canonically; two sketches are
+// state-equal iff their bytes are equal (buckets serialize in sorted
+// index order).
+func sketchBytes(t *testing.T, s *Sketch) string {
+	t.Helper()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestNewSketchValidatesAlpha(t *testing.T) {
+	for _, alpha := range []float64{0, 1, -0.1, 1.5} {
+		if _, err := NewSketch(alpha); err == nil {
+			t.Errorf("alpha %v accepted", alpha)
+		}
+	}
+}
+
+func TestSketchEmptyQuantile(t *testing.T) {
+	s := newTestSketch(t, DefaultSketchAlpha)
+	if _, err := s.Quantile(50); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("err = %v, want ErrEmpty", err)
+	}
+}
+
+// TestSketchMergeAssociativeAndCommutative is the satellite's
+// associativity property, and it holds bit-exactly: the sketch state is
+// integer counts on a fixed grid, so (A⊕B)⊕C, A⊕(B⊕C) and any
+// permutation all land in the same state.
+func TestSketchMergeAssociativeAndCommutative(t *testing.T) {
+	prop := func(seedA, seedB, seedC int64, nA, nB, nC uint8) bool {
+		a1 := sketchOf(sampleSet(seedA, int(nA)))
+		b1 := sketchOf(sampleSet(seedB, int(nB)))
+		c1 := sketchOf(sampleSet(seedC, int(nC)))
+		a2 := sketchOf(sampleSet(seedA, int(nA)))
+		b2 := sketchOf(sampleSet(seedB, int(nB)))
+		c2 := sketchOf(sampleSet(seedC, int(nC)))
+
+		// left = (A⊕B)⊕C
+		if err := a1.Merge(b1); err != nil {
+			return false
+		}
+		if err := a1.Merge(c1); err != nil {
+			return false
+		}
+		// right = A⊕(B⊕C), merged into C in reverse order to cover
+		// commutativity too.
+		if err := c2.Merge(b2); err != nil {
+			return false
+		}
+		if err := c2.Merge(a2); err != nil {
+			return false
+		}
+		return sketchBytes(t, a1) == sketchBytes(t, c2)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSketchInsertionOrderInvariant: the state is a pure function of the
+// inserted multiset — reversing the insertion order changes nothing.
+func TestSketchInsertionOrderInvariant(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		samples := sampleSet(seed, int(n))
+		forward := sketchOf(samples)
+		backward := newSketch(DefaultSketchAlpha)
+		for i := len(samples) - 1; i >= 0; i-- {
+			backward.Add(samples[i])
+		}
+		return sketchBytes(t, forward) == sketchBytes(t, backward)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSketchQuantileWithinRankErrorBound verifies the accuracy contract
+// against an exact sort on small inputs: the estimate's bucket contains
+// the exact nearest-rank sample, so the estimate is within relative Alpha
+// of it (plus the zero-bucket threshold for near-zero values).
+func TestSketchQuantileWithinRankErrorBound(t *testing.T) {
+	percentiles := []float64{0, 1, 10, 25, 50, 75, 90, 99, 100}
+	prop := func(seed int64, n uint8) bool {
+		samples := sampleSet(seed, int(n)+1)
+		s := sketchOf(samples)
+		for _, p := range percentiles {
+			got, err := s.Quantile(p)
+			if err != nil {
+				return false
+			}
+			exact, err := Percentile(samples, p)
+			if err != nil {
+				return false
+			}
+			tol := s.Alpha()*math.Abs(exact) + sketchZeroThreshold
+			if math.Abs(got-exact) > tol {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSketchShardedMergeMatchesSingleSketch: splitting the samples into
+// consecutive shards, sketching each and merging in shard-index order is
+// state-identical to one sketch over everything — the fleet engine's
+// memory-bounded path loses nothing.
+func TestSketchShardedMergeMatchesSingleSketch(t *testing.T) {
+	prop := func(seed int64, n uint8, shardSeed int64) bool {
+		samples := sampleSet(seed, int(n)+1)
+		whole := sketchOf(samples)
+		shards := shardBoundaries(shardSeed, len(samples))
+		merged := newSketch(DefaultSketchAlpha)
+		for s := 0; s+1 < len(shards); s++ {
+			if err := merged.Merge(sketchOf(samples[shards[s]:shards[s+1]])); err != nil {
+				return false
+			}
+		}
+		return sketchBytes(t, whole) == sketchBytes(t, merged)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSketchMergeRejectsAlphaMismatch(t *testing.T) {
+	a := newTestSketch(t, 0.01)
+	b := newTestSketch(t, 0.02)
+	b.Add(1)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("alpha mismatch accepted")
+	}
+}
+
+func TestSketchJSONRoundTrip(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		s := sketchOf(sampleSet(seed, int(n)))
+		data, err := json.Marshal(s)
+		if err != nil {
+			return false
+		}
+		var back Sketch
+		if err := json.Unmarshal(data, &back); err != nil {
+			return false
+		}
+		again, err := json.Marshal(&back)
+		if err != nil {
+			return false
+		}
+		return string(data) == string(again)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSketchUnmarshalRejectsInconsistentCounts(t *testing.T) {
+	var s Sketch
+	bad := `{"alpha":0.01,"count":5,"zero":1,"pos":[{"i":3,"c":2}]}`
+	if err := json.Unmarshal([]byte(bad), &s); err == nil {
+		t.Fatal("inconsistent bucket sum accepted")
+	}
+}
+
+func TestSketchRandomizedAgainstExactMedian(t *testing.T) {
+	src := randx.New(11)
+	samples := make([]float64, 5000)
+	for i := range samples {
+		samples[i] = src.Normal(100, 25)
+	}
+	s := sketchOf(samples)
+	got, err := s.Quantile(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Percentile(samples, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-exact) > s.Alpha()*math.Abs(exact)+sketchZeroThreshold {
+		t.Fatalf("median %v vs exact %v beyond alpha bound", got, exact)
+	}
+}

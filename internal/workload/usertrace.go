@@ -2,7 +2,6 @@ package workload
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"etrain/internal/profile"
@@ -122,29 +121,10 @@ func uploadsFor(src *randx.Source, class ActivenessClass) int {
 
 // SynthesizeUser generates a 10-minute user trace of the requested
 // activeness class: upload events uniformly spread through the session with
-// weibo-like sizes, interleaved with browse-triggered downloads.
+// weibo-like sizes, interleaved with browse-triggered downloads. It is the
+// paper's fixed app-use window; SynthesizeSession generalizes the length.
 func SynthesizeUser(src *randx.Source, userID string, class ActivenessClass) []BehaviorRecord {
-	uploads := uploadsFor(src, class)
-	downloads := uploads/2 + src.Intn(uploads+1)
-	var records []BehaviorRecord
-	for i := 0; i < uploads; i++ {
-		records = append(records, BehaviorRecord{
-			UserID:   userID,
-			Behavior: BehaviorUpload,
-			At:       time.Duration(src.Float64() * float64(SessionLength)),
-			Size:     int64(src.TruncatedNormal(2*1024, 1024, 100)),
-		})
-	}
-	for i := 0; i < downloads; i++ {
-		records = append(records, BehaviorRecord{
-			UserID:   userID,
-			Behavior: BehaviorDownload,
-			At:       time.Duration(src.Float64() * float64(SessionLength)),
-			Size:     int64(src.TruncatedNormal(8*1024, 4*1024, 500)),
-		})
-	}
-	sort.SliceStable(records, func(i, j int) bool { return records[i].At < records[j].At })
-	return records
+	return SynthesizeSession(src, userID, class, SessionLength)
 }
 
 // PacketsFromTrace converts a user trace into schedulable packets. Browse

@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz lint vet determinism bench-json fleet-smoke clean
+.PHONY: all build test race fuzz lint vet determinism bench-json bench-server fleet-smoke serve load clean
 
 all: build test lint
 
@@ -19,6 +19,7 @@ race:
 
 fuzz:
 	$(GO) test ./internal/tracefile -run Fuzz
+	$(GO) test ./internal/wire -run Fuzz
 
 vet:
 	$(GO) vet ./...
@@ -57,6 +58,27 @@ fleet-smoke:
 	/tmp/etrain-fleet -devices 2000 -workers 8 -quiet > /tmp/etrain-fleet-w8.txt
 	diff -u /tmp/etrain-fleet-w1.txt /tmp/etrain-fleet-w8.txt
 	$(GO) test -race ./internal/fleet -run 'Halt|Resume|Checkpoint' -count=1
+
+# Service-layer checks, same as the CI serve job: the wire/in-process
+# equivalence suite, the 1k-device loopback soak and the graceful-drain
+# tests under the race detector.
+serve:
+	$(GO) test -race ./internal/wire -count=1
+	$(GO) test -race ./internal/server -run 'Equivalence|Soak|Drain|Shutdown' -count=1
+
+# Load-generation smoke over in-process loopback: replay 1k synthesized
+# devices through the full codec-server-session path and report
+# throughput and latency percentiles.
+load:
+	$(GO) run ./cmd/etrain-load -devices 1000 -conns 16 -horizon 2m
+
+# Service-layer benchmark snapshot (BenchmarkServerThroughput +
+# BenchmarkWireCodec) through cmd/etrain-benchjson into BENCH_server.json.
+bench-server:
+	$(GO) test -run '^$$' -bench 'BenchmarkServerThroughput|BenchmarkWireCodec' -benchmem \
+		-benchtime $(BENCHTIME) ./internal/server ./internal/wire \
+		| $(GO) run ./cmd/etrain-benchjson > BENCH_server.json
+	@echo "wrote BENCH_server.json"
 
 # End-to-end determinism check: full registry, sequential vs 8 workers,
 # byte-compared — same as the CI determinism job.

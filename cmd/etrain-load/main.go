@@ -1,0 +1,161 @@
+// Command etrain-load replays a synthesized device fleet against an
+// etraind server over N concurrent connections and reports throughput and
+// session-latency percentiles.
+//
+// Usage:
+//
+//	go run ./cmd/etrain-load -devices 1000 -conns 16            # in-process loopback
+//	go run ./cmd/etrain-load -addr 127.0.0.1:4810 -devices 1000 # against etraind
+//
+// With an empty -addr the generator hosts the server itself and drives it
+// over in-process net.Pipe loopback — the same path the CI soak takes —
+// so the service layer can be measured without a network.
+//
+// Devices are synthesized exactly like etrain-fleet's (identity-derived
+// from -seed), so a load run replays the same population a fleet
+// simulation reports on. This command is a wall-clock boundary of the
+// service subsystem: session latency is measured here, never inside
+// internal/server.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"etrain/internal/fleet"
+	"etrain/internal/parallel"
+	"etrain/internal/server"
+	"etrain/internal/stats"
+	"etrain/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "", "etraind address (empty: in-process loopback server)")
+	devices := flag.Int("devices", 1000, "devices to replay")
+	conns := flag.Int("conns", 16, "concurrent connections (negative: one per CPU)")
+	seed := flag.Int64("seed", 42, "fleet seed; device i derives from (seed, i)")
+	theta := flag.Float64("theta", 4.0, "eTrain cost bound Θ")
+	k := flag.Int("k", fleet.DefaultK, "per-heartbeat batch bound k")
+	horizon := flag.Duration("horizon", 10*time.Minute, "per-device simulated span")
+	alpha := flag.Float64("alpha", 0.01, "latency-sketch relative accuracy")
+	quiet := flag.Bool("quiet", false, "suppress the per-run header")
+	flag.Parse()
+
+	if err := run(*addr, *devices, *conns, *seed, *theta, *k, *horizon, *alpha, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "etrain-load:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, devices, conns int, seed int64, theta float64, k int, horizon time.Duration, alpha float64, quiet bool) error {
+	pop, err := workload.NewPopulation(workload.DefaultMix())
+	if err != nil {
+		return err
+	}
+	sketch, err := stats.NewSketch(alpha)
+	if err != nil {
+		return err
+	}
+
+	var srv *server.Server
+	dial := func() (net.Conn, error) { return net.Dial("tcp", addr) }
+	if addr == "" {
+		srv = server.New(server.Config{})
+		dial = func() (net.Conn, error) {
+			client, serverSide := net.Pipe()
+			go srv.ServeConn(serverSide)
+			return client, nil
+		}
+	}
+	if !quiet {
+		target := addr
+		if target == "" {
+			target = "in-process loopback"
+		}
+		fmt.Fprintf(os.Stderr, "etrain-load: %d devices over %d connections against %s\n",
+			devices, parallel.Workers(conns), target)
+	}
+
+	var (
+		mu       sync.Mutex
+		latency  stats.Moments
+		failures int
+		firstErr error
+	)
+	//lint:ignore notime load-harness boundary: throughput and latency are wall-clock measurements of the service; the sessions themselves are deterministic
+	started := time.Now()
+	err = parallel.ForEach(parallel.NewLimit(conns), devices, func(i int) error {
+		dev, err := fleet.SynthesizeDevice(seed, pop, i, horizon)
+		if err != nil {
+			return err
+		}
+		sess, err := server.SessionFromDevice(dev, theta, k)
+		if err != nil {
+			return err
+		}
+		conn, err := dial()
+		if err != nil {
+			return err
+		}
+		//lint:ignore notime load-harness boundary: session latency is measured at the client
+		t0 := time.Now()
+		_, err = server.Drive(conn, sess)
+		//lint:ignore notime load-harness boundary: session latency is measured at the client
+		elapsed := time.Since(t0)
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			failures++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("device %d: %w", i, err)
+			}
+			return nil // keep loading; failures are reported in the summary
+		}
+		ms := float64(elapsed) / float64(time.Millisecond)
+		latency.Add(ms)
+		sketch.Add(ms)
+		return nil
+	})
+	//lint:ignore notime load-harness boundary: throughput and latency are wall-clock measurements of the service; the sessions themselves are deterministic
+	wall := time.Since(started)
+	if err != nil {
+		return err
+	}
+
+	ok := devices - failures
+	fmt.Printf("sessions     %d ok, %d failed\n", ok, failures)
+	fmt.Printf("wall         %s\n", wall.Round(time.Millisecond))
+	if wall > 0 {
+		fmt.Printf("throughput   %.1f sessions/s\n", float64(ok)/wall.Seconds())
+	}
+	if latency.N() > 0 {
+		p50, p90, p99 := quantile(sketch, 50), quantile(sketch, 90), quantile(sketch, 99)
+		fmt.Printf("latency ms   mean %.2f  min %.2f  max %.2f\n", latency.Mean(), latency.Min(), latency.Max())
+		fmt.Printf("percentiles  p50 %.2f  p90 %.2f  p99 %.2f\n", p50, p90, p99)
+	}
+	if srv != nil {
+		s := srv.Stats()
+		fmt.Printf("server       frames in/out %d/%d  decisions %d\n", s.FramesIn, s.FramesOut, s.Decisions)
+	}
+	if firstErr != nil {
+		fmt.Fprintln(os.Stderr, "etrain-load: first failure:", firstErr)
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d of %d sessions failed", failures, devices)
+	}
+	return nil
+}
+
+// quantile reads one sketch percentile (0–100), mapping the empty-sketch
+// error to 0.
+func quantile(s *stats.Sketch, p float64) float64 {
+	v, err := s.Quantile(p)
+	if err != nil {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,83 @@
+// Command etraind is the network-facing eTrain scheduling daemon: it
+// listens for device connections and hosts one wire-protocol session per
+// connection (DESIGN.md §10).
+//
+// Usage:
+//
+//	go run ./cmd/etraind -addr :4810
+//	go run ./cmd/etrain-load -addr 127.0.0.1:4810 -devices 1000
+//
+// Ctrl-C / SIGTERM starts a graceful drain: new connections are refused,
+// running sessions finish, and after -drain-timeout whatever remains is
+// force-closed. The final counters go to stderr.
+//
+// This command is a wall-clock boundary of the service subsystem: the
+// clock injected here arms connection deadlines, while internal/server
+// itself never reads time — a session's decisions remain a pure function
+// of its inbound frames.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"etrain/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":4810", "listen address")
+	maxConns := flag.Int("max-conns", 0, "concurrent connection cap (0: default 4096)")
+	queueDepth := flag.Int("queue-depth", 0, "per-session event queue bound (0: default 64)")
+	idle := flag.Duration("idle-timeout", 2*time.Minute, "max wait for a client's next frame (0: none)")
+	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "max duration of one frame write (0: none)")
+	drain := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget before force-closing sessions")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "etraind: ", log.LstdFlags)
+	srv := server.New(server.Config{
+		MaxConns:     *maxConns,
+		QueueDepth:   *queueDepth,
+		IdleTimeout:  *idle,
+		WriteTimeout: *writeTimeout,
+		//lint:ignore notime daemon boundary: the injected clock arms connection deadlines; internal/server never reads time itself
+		Clock: time.Now,
+		Logf:  logger.Printf,
+	})
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("listening on %s", l.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+
+	select {
+	case err := <-serveErr:
+		logger.Fatal(err)
+	case sig := <-sigc:
+		logger.Printf("%s: draining (budget %s)", sig, *drain)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.Printf("drain incomplete: %v", err)
+	}
+	if err := <-serveErr; err != nil && err != server.ErrServerClosed {
+		logger.Printf("serve: %v", err)
+	}
+	s := srv.Stats()
+	fmt.Fprintf(os.Stderr,
+		"etraind: accepted %d rejected %d completed %d errored %d panics %d frames in/out %d/%d decisions %d\n",
+		s.Accepted, s.Rejected, s.Completed, s.Errored, s.Panics, s.FramesIn, s.FramesOut, s.Decisions)
+}

@@ -76,6 +76,14 @@ func Synthesize(src *randx.Source, duration time.Duration, regimes []Regime) (*T
 	return NewTrace(samples)
 }
 
+// FromSeed generates the trace Synthesize would produce from a fresh
+// source seeded with seed. A session's Hello carries only this seed: the
+// server rebuilds the exact channel the client's synthesizer drew, so the
+// trace itself never crosses the wire.
+func FromSeed(seed int64, duration time.Duration, regimes []Regime) (*Trace, error) {
+	return Synthesize(randx.New(seed), duration, regimes)
+}
+
 // sqrt1m returns sqrt(1 - c²), the innovation scale that gives an AR(1)
 // process the requested stationary standard deviation.
 func sqrt1m(c float64) float64 {

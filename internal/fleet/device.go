@@ -33,33 +33,86 @@ type deviceOutcome struct {
 	violation  float64 // with-eTrain deadline-violation ratio
 }
 
+// Device is one synthesized fleet member: everything needed to run (or
+// replay over the wire) the device's simulation, derived purely from
+// (fleet seed, index). The heavyweight bandwidth trace is carried as
+// BandwidthSeed rather than samples: bandwidth.FromSeed(BandwidthSeed,
+// Horizon, nil) reproduces the exact trace, so a Device is cheap to hand
+// to a remote session via a Hello frame.
+type Device struct {
+	// Index is the device's position in the fleet.
+	Index int
+	// Seed is the device's identity-derived stream seed.
+	Seed int64
+	// ClassIndex and Class are the activeness class drawn for the device.
+	ClassIndex int
+	Class      workload.ActivenessClass
+	// Trains are the device's heartbeat apps.
+	Trains []heartbeat.TrainApp
+	// Packets is the merged session + background cargo in arrival order.
+	Packets []workload.Packet
+	// BandwidthSeed derives the device's channel via bandwidth.FromSeed.
+	BandwidthSeed int64
+	// Horizon is the device's simulated span.
+	Horizon time.Duration
+}
+
+// SynthesizeDevice derives device index of the fleet seeded by fleetSeed.
+// The draw order is fixed — class, trains, session, background, bandwidth
+// seed — so the result is a pure function of (fleetSeed, pop, index,
+// horizon) and is byte-compatible with what Run simulates.
+func SynthesizeDevice(fleetSeed int64, pop *workload.Population, index int, horizon time.Duration) (Device, error) {
+	seed := randx.Derive(fleetSeed, deviceNamespace, uint64(index))
+	src := randx.New(seed)
+	classIndex, class := pop.Pick(src.Float64())
+	trains := deviceTrains(src)
+	trace := workload.SynthesizeSession(src.Split(), fmt.Sprintf("device-%d", index), class, horizon)
+	session := workload.PacketsFromTrace(trace, profile.Weibo(sessionDeadline))
+	background, err := workload.Generate(src.Split(), backgroundSpecs(class), horizon)
+	if err != nil {
+		return Device{}, err
+	}
+	return Device{
+		Index:         index,
+		Seed:          seed,
+		ClassIndex:    classIndex,
+		Class:         class,
+		Trains:        trains,
+		Packets:       mergePackets(session, background),
+		BandwidthSeed: src.Int63(), // what Split would seed the bandwidth stream with
+		Horizon:       horizon,
+	}, nil
+}
+
+// SimConfig returns the device's base simulation config (no strategy set),
+// rebuilding the channel trace from BandwidthSeed.
+func (d Device) SimConfig() (sim.Config, error) {
+	bw, err := bandwidth.FromSeed(d.BandwidthSeed, d.Horizon, nil)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	return sim.Config{
+		Horizon:   d.Horizon,
+		Trains:    d.Trains,
+		Packets:   d.Packets,
+		Bandwidth: bw,
+		Power:     radio.GalaxyS43G(),
+		Seed:      d.Seed,
+	}, nil
+}
+
 // runDevice simulates device i twice — transmit-on-arrival versus eTrain —
 // over identical heartbeat trains, cargo and bandwidth. Everything is
 // derived from (cfg.Seed, i) in a fixed draw order, so the outcome is a
 // pure function of the device's identity.
 func runDevice(cfg *Config, pop *workload.Population, i int) (deviceOutcome, error) {
-	seed := randx.Derive(cfg.Seed, deviceNamespace, uint64(i))
-	src := randx.New(seed)
-	classIndex, class := pop.Pick(src.Float64())
-	trains := deviceTrains(src)
-	trace := workload.SynthesizeSession(src.Split(), fmt.Sprintf("device-%d", i), class, cfg.Horizon)
-	session := workload.PacketsFromTrace(trace, profile.Weibo(sessionDeadline))
-	background, err := workload.Generate(src.Split(), backgroundSpecs(class), cfg.Horizon)
+	dev, err := SynthesizeDevice(cfg.Seed, pop, i, cfg.Horizon)
 	if err != nil {
 		return deviceOutcome{}, err
 	}
-	bw, err := bandwidth.Synthesize(src.Split(), cfg.Horizon, nil)
+	base, err := dev.SimConfig()
 	if err != nil {
 		return deviceOutcome{}, err
-	}
-
-	base := sim.Config{
-		Horizon:   cfg.Horizon,
-		Trains:    trains,
-		Packets:   mergePackets(session, background),
-		Bandwidth: bw,
-		Power:     radio.GalaxyS43G(),
-		Seed:      seed,
 	}
 	without := base
 	without.Strategy = baseline.NewImmediate()
@@ -80,7 +133,7 @@ func runDevice(cfg *Config, pop *workload.Population, i int) (deviceOutcome, err
 
 	mWithout, mWith := resWithout.Metrics(), resWith.Metrics()
 	return deviceOutcome{
-		classIndex: classIndex,
+		classIndex: dev.ClassIndex,
 		withoutJ:   mWithout.EnergyJ,
 		withJ:      mWith.EnergyJ,
 		delayS:     mWith.AvgDelayS,

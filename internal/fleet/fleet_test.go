@@ -135,9 +135,12 @@ func TestHaltResumeAcrossWorkerCounts(t *testing.T) {
 	interrupted.Workers = 4
 	interrupted.CheckpointPath = path
 	interrupted.CheckpointEvery = 1
-	var completed atomic.Int64
-	interrupted.Progress = func(done, total int) { completed.Store(int64(done)) }
-	interrupted.Halt = func() bool { return completed.Load() >= 2 }
+	// Halt by poll count, not completion count: with 4 workers the last
+	// shard's pre-start poll can race ahead of the first completions, so a
+	// completion-based predicate may never fire. Letting exactly two
+	// shards through guarantees ErrHalted whenever there are > 2 shards.
+	var polls atomic.Int64
+	interrupted.Halt = func() bool { return polls.Add(1) > 2 }
 	if _, err := Run(interrupted); !errors.Is(err, ErrHalted) {
 		t.Fatalf("interrupted run returned %v, want ErrHalted", err)
 	}

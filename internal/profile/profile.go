@@ -132,6 +132,24 @@ func New(kind Kind, deadline time.Duration) (Profile, error) {
 	}
 }
 
+// KindOf returns the family a profile belongs to. Custom profiles have no
+// family and report ok = false; they cannot travel over the wire protocol.
+func KindOf(p Profile) (Kind, bool) {
+	if p == nil {
+		return 0, false
+	}
+	switch p.Name() {
+	case "mail/f1":
+		return KindMail, true
+	case "weibo/f2":
+		return KindWeibo, true
+	case "cloud/f3":
+		return KindCloud, true
+	default:
+		return 0, false
+	}
+}
+
 // Custom returns a profile with an arbitrary cost function of normalized
 // delay x = d/deadline. The function must be non-negative and non-decreasing
 // for the scheduler's analysis to hold; this is the caller's responsibility.

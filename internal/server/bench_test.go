@@ -1,0 +1,43 @@
+package server
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"etrain/internal/fleet"
+	"etrain/internal/workload"
+)
+
+// BenchmarkServerThroughput measures complete loopback sessions per
+// second: one synthesized device replayed through the codec–server–engine
+// path per iteration. Session synthesis is done once outside the loop, so
+// the measurement is the service layer itself.
+func BenchmarkServerThroughput(b *testing.B) {
+	pop, err := workload.NewPopulation(workload.DefaultMix())
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev, err := fleet.SynthesizeDevice(7, pop, 0, 2*time.Minute)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := SessionFromDevice(dev, testTheta, testK)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := New(Config{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		client, serverSide := net.Pipe()
+		srvErr := make(chan error, 1)
+		go func() { srvErr <- srv.ServeConn(serverSide) }()
+		if _, err := Drive(client, sess); err != nil {
+			b.Fatal(err)
+		}
+		if err := <-srvErr; err != nil {
+			b.Fatal(err)
+		}
+	}
+}

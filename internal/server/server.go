@@ -1,0 +1,278 @@
+// Package server is the network-facing eTrain scheduling service: each
+// accepted connection hosts one device session that feeds decoded wire
+// frames into an incremental sim.Engine running the core strategy, and
+// streams the resulting Decision frames back (DESIGN.md §10).
+//
+// The package is transport-agnostic — sessions run over any net.Conn, and
+// the test suite drives them over in-process net.Pipe loopback — and it
+// never reads the wall clock itself: deadlines exist only when the caller
+// injects a Clock, so the decision/metrics stream stays a pure function
+// of the inbound frame stream.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"etrain/internal/radio"
+)
+
+// Defaults for the zero Config.
+const (
+	// DefaultMaxConns bounds concurrently served connections.
+	DefaultMaxConns = 4096
+	// DefaultQueueDepth is the per-session event queue bound: when a
+	// session's engine falls behind, its reader stops pulling frames after
+	// this many are queued and the transport exerts backpressure.
+	DefaultQueueDepth = 64
+)
+
+// ErrServerClosed reports that Serve stopped because Shutdown began.
+var ErrServerClosed = errors.New("server: closed")
+
+// Config parameterizes a Server. The zero value serves with defaults, no
+// deadlines and the Galaxy S4 power model.
+type Config struct {
+	// MaxConns caps concurrently served connections (DefaultMaxConns if
+	// zero); connections beyond the cap are closed immediately.
+	MaxConns int
+	// QueueDepth bounds each session's inbound event queue
+	// (DefaultQueueDepth if zero).
+	QueueDepth int
+	// IdleTimeout bounds the wait for the next inbound frame; it needs a
+	// Clock to take effect.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each outbound frame write; it needs a Clock.
+	WriteTimeout time.Duration
+	// Power is the radio energy model sessions account under
+	// (radio.GalaxyS43G() if unset).
+	Power radio.PowerModel
+	// Clock supplies the wall clock for connection deadlines. Leaving it
+	// nil disables deadlines and keeps the server fully deterministic;
+	// cmd/etraind injects time.Now at the process boundary.
+	Clock func() time.Time
+	// Logf, when non-nil, receives per-connection error reports.
+	Logf func(format string, args ...any)
+}
+
+// Counters is a snapshot of the server's monotonic event counts (Active
+// excepted, which is the instantaneous session count).
+type Counters struct {
+	Accepted  uint64 // connections admitted into sessions
+	Rejected  uint64 // connections refused (limit reached or draining)
+	Active    uint64 // sessions currently running
+	Completed uint64 // sessions that ran the full protocol
+	Errored   uint64 // sessions ended by a protocol or transport error
+	Panics    uint64 // sessions ended by a recovered panic
+	FramesIn  uint64 // frames decoded from clients
+	FramesOut uint64 // frames written to clients
+	Decisions uint64 // Decision frames among FramesOut
+}
+
+// Server hosts device sessions over accepted connections.
+type Server struct {
+	cfg Config
+
+	accepted  atomic.Uint64
+	rejected  atomic.Uint64
+	active    atomic.Int64
+	completed atomic.Uint64
+	errored   atomic.Uint64
+	panics    atomic.Uint64
+	framesIn  atomic.Uint64
+	framesOut atomic.Uint64
+	decisions atomic.Uint64
+
+	mu        sync.Mutex
+	closed    bool
+	conns     map[net.Conn]struct{}
+	listeners map[net.Listener]struct{}
+	wg        sync.WaitGroup
+}
+
+// New returns a server with normalized configuration.
+func New(cfg Config) *Server {
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = DefaultMaxConns
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.Power.Validate() != nil {
+		cfg.Power = radio.GalaxyS43G()
+	}
+	return &Server{
+		cfg:       cfg,
+		conns:     make(map[net.Conn]struct{}),
+		listeners: make(map[net.Listener]struct{}),
+	}
+}
+
+// Serve accepts connections from l and serves a session on each until
+// Shutdown closes the listener, then returns ErrServerClosed. Accept
+// errors other than the shutdown close are returned as-is.
+func (s *Server) Serve(l net.Listener) error {
+	if !s.addListener(l) {
+		l.Close()
+		return ErrServerClosed
+	}
+	defer s.removeListener(l)
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if s.draining() {
+				return ErrServerClosed
+			}
+			return err
+		}
+		if !s.register(conn) {
+			s.rejected.Add(1)
+			conn.Close()
+			continue
+		}
+		s.wg.Add(1)
+		go func(conn net.Conn) {
+			defer s.wg.Done()
+			s.serveSession(conn)
+		}(conn)
+	}
+}
+
+// ServeConn serves one session on conn synchronously, returning the
+// session's error (nil for a cleanly completed protocol). It respects the
+// connection limit and the drain state exactly like Serve.
+func (s *Server) ServeConn(conn net.Conn) error {
+	if !s.register(conn) {
+		s.rejected.Add(1)
+		conn.Close()
+		return ErrServerClosed
+	}
+	s.wg.Add(1)
+	defer s.wg.Done()
+	return s.serveSession(conn)
+}
+
+// serveSession runs one registered session with panic isolation: a panic
+// in the session (or the strategy it hosts) is recovered, counted, and
+// confined to its connection.
+func (s *Server) serveSession(conn net.Conn) (err error) {
+	s.accepted.Add(1)
+	s.active.Add(1)
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			err = fmt.Errorf("server: session panic: %v", r)
+		}
+		s.active.Add(-1)
+		s.unregister(conn)
+		conn.Close()
+		if err == nil {
+			s.completed.Add(1)
+		} else {
+			s.errored.Add(1)
+			s.logf("session %v: %v", conn.RemoteAddr(), err)
+		}
+	}()
+	return s.runSession(conn)
+}
+
+// Shutdown drains the server: it stops accepting, rejects new sessions,
+// and waits for running sessions to finish. If ctx expires first, the
+// remaining connections are force-closed and Shutdown waits for their
+// sessions to unwind before returning ctx's error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.wg.Wait()
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() Counters {
+	active := s.active.Load()
+	if active < 0 {
+		active = 0
+	}
+	return Counters{
+		Accepted:  s.accepted.Load(),
+		Rejected:  s.rejected.Load(),
+		Active:    uint64(active),
+		Completed: s.completed.Load(),
+		Errored:   s.errored.Load(),
+		Panics:    s.panics.Load(),
+		FramesIn:  s.framesIn.Load(),
+		FramesOut: s.framesOut.Load(),
+		Decisions: s.decisions.Load(),
+	}
+}
+
+func (s *Server) addListener(l net.Listener) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.listeners[l] = struct{}{}
+	return true
+}
+
+func (s *Server) removeListener(l net.Listener) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.listeners, l)
+}
+
+// register admits conn into the session set unless the server is draining
+// or at its connection limit.
+func (s *Server) register(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || len(s.conns) >= s.cfg.MaxConns {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) unregister(conn net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, conn)
+}
+
+func (s *Server) draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}

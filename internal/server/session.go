@@ -1,0 +1,263 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	"etrain/internal/bandwidth"
+	"etrain/internal/core"
+	"etrain/internal/heartbeat"
+	"etrain/internal/profile"
+	"etrain/internal/sched"
+	"etrain/internal/sim"
+	"etrain/internal/wire"
+	"etrain/internal/workload"
+)
+
+// newStrategy builds the session's scheduling strategy from its Hello. A
+// package variable so the panic-isolation test can substitute a hostile
+// strategy; production sessions always host the core eTrain scheduler.
+var newStrategy = func(h wire.Hello) (sched.Strategy, error) {
+	return core.New(core.Options{Theta: h.Theta, K: int(h.K), Slot: h.Slot})
+}
+
+// session is one connection's protocol state: a frame reader feeding a
+// bounded event queue, and an incremental engine turning events into
+// Decision frames.
+type session struct {
+	srv     *Server
+	conn    net.Conn
+	w       *wire.Writer
+	engine  *sim.Engine
+	pending []wire.Decision
+	hello   wire.Hello
+}
+
+// inbound is one decoded frame (or the reader's terminal error) queued
+// for the session's processor.
+type inbound struct {
+	msg wire.Message
+	err error
+}
+
+// runSession speaks the session protocol on conn: Hello/Ack handshake,
+// then events in, decisions out, then the finish exchange. The reader
+// goroutine is the only conn reader and the processor the only writer;
+// the bounded queue between them is the session's backpressure: when the
+// engine falls behind, the reader stops pulling frames and the transport
+// blocks the client.
+func (s *Server) runSession(conn net.Conn) error {
+	sess := &session{srv: s, conn: conn, w: wire.NewWriter(conn)}
+
+	events := make(chan inbound, s.cfg.QueueDepth)
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		r := wire.NewReader(conn)
+		for {
+			s.readDeadline(conn)
+			m, err := r.Next()
+			if err != nil {
+				select {
+				case events <- inbound{err: err}:
+				case <-stop:
+				}
+				return
+			}
+			s.framesIn.Add(1)
+			select {
+			case events <- inbound{msg: m}:
+			case <-stop:
+				return
+			}
+		}
+	}()
+	// Join the reader on every exit path: closing stop releases it from a
+	// send onto a full queue, closing conn releases it from a blocked
+	// Read, and readerDone confirms it is gone.
+	defer func() {
+		close(stop)
+		conn.Close()
+		<-readerDone
+	}()
+
+	// Handshake: the first frame must be a Hello.
+	first := <-events
+	if first.err != nil {
+		return fmt.Errorf("server: reading hello: %w", first.err)
+	}
+	hello, ok := first.msg.(wire.Hello)
+	if !ok {
+		return fmt.Errorf("server: first frame is %s, want hello", first.msg.MsgType())
+	}
+	if err := sess.open(hello); err != nil {
+		return err
+	}
+	if err := sess.write(wire.Ack{Seq: 0}); err != nil {
+		return err
+	}
+
+	// Event loop: feed the engine until the client's end-of-events Ack.
+	for ev := range events {
+		if ev.err != nil {
+			if errors.Is(ev.err, io.EOF) {
+				return fmt.Errorf("server: connection closed before finish ack")
+			}
+			return fmt.Errorf("server: reading frame: %w", ev.err)
+		}
+		switch m := ev.msg.(type) {
+		case wire.HeartbeatObserved:
+			if err := sess.onBeat(m); err != nil {
+				return err
+			}
+		case wire.CargoArrival:
+			if err := sess.onCargo(m); err != nil {
+				return err
+			}
+		case wire.Ack:
+			return sess.finish(m)
+		default:
+			return fmt.Errorf("server: unexpected %s frame mid-session", ev.msg.MsgType())
+		}
+	}
+	return fmt.Errorf("server: event queue closed") // unreachable
+}
+
+// open validates the Hello and builds the session's engine: the channel
+// trace is rebuilt from the Hello's seed, and the engine starts with
+// empty event buffers that inbound frames append to.
+func (sess *session) open(h wire.Hello) error {
+	strategy, err := newStrategy(h)
+	if err != nil {
+		return fmt.Errorf("server: hello: %w", err)
+	}
+	bw, err := bandwidth.FromSeed(h.Seed, h.Horizon, nil)
+	if err != nil {
+		return fmt.Errorf("server: hello: channel from seed: %w", err)
+	}
+	engine, err := sim.NewEngine(sim.Config{
+		Horizon:   h.Horizon,
+		Beats:     []heartbeat.Beat{},
+		Bandwidth: bw,
+		Power:     sess.srv.cfg.Power,
+		Strategy:  strategy,
+		Seed:      h.Seed,
+	})
+	if err != nil {
+		return fmt.Errorf("server: hello: %w", err)
+	}
+	engine.OnSlot = func(r sim.SlotResult) {
+		if len(r.Data) == 0 {
+			return
+		}
+		d := wire.Decision{Slot: r.Slot, Flush: r.Flush, Entries: make([]wire.DecisionEntry, len(r.Data))}
+		for i, p := range r.Data {
+			d.Entries[i] = wire.DecisionEntry{ID: uint64(p.ID), Start: p.StartedAt}
+		}
+		sess.pending = append(sess.pending, d)
+	}
+	sess.engine = engine
+	sess.hello = h
+	return nil
+}
+
+// onBeat feeds one heartbeat observation and executes every slot it
+// completes, streaming out the decisions.
+func (sess *session) onBeat(m wire.HeartbeatObserved) error {
+	b := heartbeat.Beat{At: m.At, App: m.App, Size: m.Size}
+	if err := sess.engine.AddBeat(b); err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	if err := sess.engine.Advance(m.At); err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	return sess.flushDecisions()
+}
+
+// onCargo feeds one cargo arrival, rebuilding its delay-cost profile from
+// the wire kind.
+func (sess *session) onCargo(m wire.CargoArrival) error {
+	prof, err := profile.New(m.Profile, m.Deadline)
+	if err != nil {
+		return fmt.Errorf("server: cargo %d: %w", m.ID, err)
+	}
+	p := workload.Packet{
+		ID:        int(m.ID),
+		App:       m.App,
+		ArrivedAt: m.At,
+		Size:      m.Size,
+		Profile:   prof,
+	}
+	if err := sess.engine.AddPacket(p); err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	if err := sess.engine.Advance(m.At); err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	return sess.flushDecisions()
+}
+
+// finish runs the engine to the horizon and closes the protocol: the
+// remaining decisions, the StatsSnapshot, and the echoed Ack.
+func (sess *session) finish(ack wire.Ack) error {
+	res, err := sess.engine.Finish()
+	if err != nil {
+		return fmt.Errorf("server: finish: %w", err)
+	}
+	if err := sess.flushDecisions(); err != nil {
+		return err
+	}
+	m := res.Metrics()
+	snap := wire.StatsSnapshot{
+		DeviceID:       sess.hello.DeviceID,
+		EnergyJ:        m.EnergyJ,
+		AvgDelayS:      m.AvgDelayS,
+		ViolationRatio: m.ViolationRatio,
+		DataPackets:    uint64(m.DataPackets),
+		Heartbeats:     uint64(m.Heartbeats),
+		ForcedFlush:    uint64(m.ForcedFlush),
+	}
+	if err := sess.write(snap); err != nil {
+		return err
+	}
+	return sess.write(wire.Ack{Seq: ack.Seq})
+}
+
+// flushDecisions writes and clears the buffered Decision frames.
+func (sess *session) flushDecisions() error {
+	for _, d := range sess.pending {
+		if err := sess.write(d); err != nil {
+			return err
+		}
+		sess.srv.decisions.Add(1)
+	}
+	sess.pending = sess.pending[:0]
+	return nil
+}
+
+// write sends one frame under the configured write deadline.
+func (sess *session) write(m wire.Message) error {
+	sess.srv.writeDeadline(sess.conn)
+	if err := sess.w.Write(m); err != nil {
+		return fmt.Errorf("server: writing %s: %w", m.MsgType(), err)
+	}
+	sess.srv.framesOut.Add(1)
+	return nil
+}
+
+// readDeadline arms the idle timeout, when a clock is injected.
+func (s *Server) readDeadline(conn net.Conn) {
+	if s.cfg.Clock != nil && s.cfg.IdleTimeout > 0 {
+		conn.SetReadDeadline(s.cfg.Clock().Add(s.cfg.IdleTimeout))
+	}
+}
+
+// writeDeadline arms the write timeout, when a clock is injected.
+func (s *Server) writeDeadline(conn net.Conn) {
+	if s.cfg.Clock != nil && s.cfg.WriteTimeout > 0 {
+		conn.SetWriteDeadline(s.cfg.Clock().Add(s.cfg.WriteTimeout))
+	}
+}

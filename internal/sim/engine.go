@@ -5,6 +5,13 @@
 // Each run is deterministic: heartbeat schedules and packet arrivals are
 // precomputed, the only randomness (channel-estimator noise) flows from an
 // explicit seed.
+//
+// The engine comes in two forms sharing one code path: Run executes a
+// fully precomputed Config to the horizon in one call, and Engine exposes
+// the same slot loop incrementally — events are fed one at a time
+// (AddBeat/AddPacket) and slots execute as virtual time advances — which
+// is what lets a network session (internal/server) drive a device from
+// wire events and still produce output byte-identical to Run.
 package sim
 
 import (
@@ -211,12 +218,58 @@ func (r Result) DeadlineViolationRatio() float64 {
 	return float64(violated) / float64(len(r.Packets))
 }
 
-// Run executes the simulation.
-func Run(cfg Config) (*Result, error) {
+// SlotResult reports what one executed slot transmitted. Data is a view
+// into the growing Result.Packets, valid until the next slot executes.
+type SlotResult struct {
+	// Slot is the slot's start instant (the horizon for the final flush).
+	Slot time.Duration
+	// Flush marks the horizon drain of still-queued packets.
+	Flush bool
+	// Data lists the data packets transmitted by this slot, in
+	// transmission order.
+	Data []PacketStat
+	// Heartbeats counts the slot's heartbeat transmissions.
+	Heartbeats int
+}
+
+// Engine is the incremental form of the simulation: the exact slot loop of
+// Run, exposed as an event-fed state machine. Events enter through AddBeat
+// and AddPacket in non-decreasing time order; Advance executes every slot
+// whose inputs are complete; Finish runs the remaining slots to the
+// horizon, drains the queues and accounts energy.
+//
+// Run is implemented on top of Engine, so a device driven incrementally —
+// e.g. from decoded wire frames by internal/server — produces decisions
+// and metrics byte-identical to the same device run in one Run call.
+type Engine struct {
+	cfg        Config
+	slot       time.Duration
+	queues     *sched.Queues
+	txQueue    *sched.TxQueue // the paper's Q_TX
+	timeline   *radio.Timeline
+	res        *Result
+	beats      []heartbeat.Beat
+	packets    []workload.Packet
+	nextBeat   int
+	nextPacket int
+	slotStart  time.Duration
+	busyUntil  time.Duration
+	finished   bool
+
+	// OnSlot, when non-nil, observes every executed slot (and the final
+	// flush) as it happens. Run leaves it nil; a server session uses it to
+	// turn slot outcomes into Decision frames.
+	OnSlot func(SlotResult)
+}
+
+// NewEngine validates the config and returns an engine positioned at slot
+// zero. Config.Packets and Config.Beats (or the Trains' merged schedule)
+// preload the event buffers; more events may be appended with AddPacket
+// and AddBeat as long as time order is preserved.
+func NewEngine(cfg Config) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-
 	beats := cfg.Beats
 	if beats == nil {
 		beats = heartbeat.Merge(cfg.Trains, cfg.Horizon)
@@ -225,142 +278,244 @@ func Run(cfg Config) (*Result, error) {
 	if slot <= 0 {
 		slot = time.Second
 	}
-
-	queues := sched.NewQueues()
-	txQueue := &sched.TxQueue{} // the paper's Q_TX
 	timeline := &radio.Timeline{}
-	res := &Result{Strategy: cfg.Strategy.Name(), Timeline: timeline}
+	return &Engine{
+		cfg:      cfg,
+		slot:     slot,
+		queues:   sched.NewQueues(),
+		txQueue:  &sched.TxQueue{},
+		timeline: timeline,
+		res:      &Result{Strategy: cfg.Strategy.Name(), Timeline: timeline},
+		beats:    beats,
+		packets:  cfg.Packets,
+	}, nil
+}
 
-	nextPacket := 0
-	nextBeat := 0
-	busyUntil := time.Duration(0)
+// Now returns the start instant of the next unexecuted slot.
+func (e *Engine) Now() time.Duration { return e.slotStart }
 
-	transmit := func(at time.Duration, size int64, kind radio.TxKind, app string) (time.Duration, error) {
-		start := at
-		if busyUntil > start {
-			start = busyUntil
-		}
-		txTime := cfg.Bandwidth.TransmitTime(start, size)
-		err := timeline.Append(radio.Transmission{
-			Start: start, TxTime: txTime, Size: size, Kind: kind, App: app,
-		})
-		if err != nil {
-			return 0, err
-		}
-		busyUntil = start + txTime
-		return start, nil
+// SlotLength returns the engine's decision period.
+func (e *Engine) SlotLength() time.Duration { return e.slot }
+
+// Finished reports whether Finish has run.
+func (e *Engine) Finished() bool { return e.finished }
+
+// AddBeat appends one heartbeat departure. Beats must arrive in
+// non-decreasing time order and must not predate the next unexecuted slot
+// — a beat the batch run would already have consumed cannot be replayed.
+func (e *Engine) AddBeat(b heartbeat.Beat) error {
+	if e.finished {
+		return fmt.Errorf("sim: beat after Finish")
 	}
-
-	recordData := func(p workload.Packet, start time.Duration, forced bool) {
-		res.Packets = append(res.Packets, PacketStat{
-			ID: p.ID, App: p.App, Size: p.Size,
-			ArrivedAt: p.ArrivedAt, StartedAt: start,
-			Delay:       start - p.ArrivedAt,
-			Violated:    p.DeadlineViolated(start),
-			ForcedFlush: forced,
-		})
+	if n := len(e.beats); n > e.nextBeat && b.At < e.beats[n-1].At {
+		return fmt.Errorf("sim: beat at %v arrives after beat at %v", b.At, e.beats[n-1].At)
 	}
+	if b.At < e.slotStart {
+		return fmt.Errorf("sim: stale beat at %v; slot %v already executed", b.At, e.slotStart)
+	}
+	e.beats = append(e.beats, b)
+	return nil
+}
 
-	for slotStart := time.Duration(0); slotStart < cfg.Horizon; slotStart += slot {
-		slotEnd := slotStart + slot
+// AddPacket appends one cargo arrival. Packets must arrive in
+// non-decreasing time order and must not predate the next unexecuted slot.
+func (e *Engine) AddPacket(p workload.Packet) error {
+	if e.finished {
+		return fmt.Errorf("sim: packet after Finish")
+	}
+	if n := len(e.packets); n > e.nextPacket && p.ArrivedAt < e.packets[n-1].ArrivedAt {
+		return fmt.Errorf("sim: packet at %v arrives after packet at %v", p.ArrivedAt, e.packets[n-1].ArrivedAt)
+	}
+	if p.ArrivedAt < e.slotStart {
+		return fmt.Errorf("sim: stale packet at %v; slot %v already executed", p.ArrivedAt, e.slotStart)
+	}
+	e.packets = append(e.packets, p)
+	return nil
+}
 
-		// Packets generated in earlier slots are visible now (the paper's
-		// A_i(t) arrives by the end of slot t).
-		for nextPacket < len(cfg.Packets) && cfg.Packets[nextPacket].ArrivedAt < slotStart {
-			queues.Add(cfg.Packets[nextPacket])
-			nextPacket++
+// Advance executes every slot that ends at or before upTo (never past the
+// horizon). The caller guarantees all events up to upTo have been added;
+// an event stream fed in time order satisfies this by advancing to each
+// event's instant after adding it.
+func (e *Engine) Advance(upTo time.Duration) error {
+	if e.finished {
+		return fmt.Errorf("sim: advance after Finish")
+	}
+	for e.slotStart < e.cfg.Horizon && e.slotStart+e.slot <= upTo {
+		if err := e.step(); err != nil {
+			return err
 		}
+	}
+	return nil
+}
 
-		// Train departures within this slot.
-		beatEnd := nextBeat
-		for beatEnd < len(beats) && beats[beatEnd].At < slotEnd {
-			beatEnd++
-		}
-		slotBeats := beats[nextBeat:beatEnd]
-		nextBeat = beatEnd
-
-		ctx := &sched.SlotContext{
-			Now:           slotStart,
-			SlotLength:    slot,
-			HeartbeatNow:  len(slotBeats) > 0,
-			Beats:         slotBeats,
-			Queues:        queues,
-			MeanBandwidth: cfg.Bandwidth.Mean(),
-		}
-		if cfg.Estimator != nil {
-			at := slotStart
-			ctx.EstimateBandwidth = func() float64 { return cfg.Estimator.Estimate(at) }
-		}
-
-		selected := cfg.Strategy.Schedule(ctx)
-		// Q*(t) is injected into the FIFO transmission queue Q_TX, whose
-		// head-of-line packet transmits whenever the radio is free (§IV).
-		txQueue.Inject(slotStart, selected)
-
-		// Interleave heartbeats (at their departure instants) and Q_TX
-		// drains (from their injection instants) on the serialized link. A
-		// heartbeat departing exactly at the slot start goes first so data
-		// rides its tail.
-		type txEvent struct {
-			at   time.Duration
-			size int64
-			kind radio.TxKind
-			app  string
-			pkt  workload.Packet
-		}
-		events := make([]txEvent, 0, len(slotBeats)+txQueue.Len())
-		for _, b := range slotBeats {
-			events = append(events, txEvent{at: b.At, size: b.Size, kind: radio.TxHeartbeat, app: b.App})
-		}
-		for {
-			p, injectedAt, ok := txQueue.Pop()
-			if !ok {
-				break
-			}
-			events = append(events, txEvent{at: injectedAt, size: p.Size, kind: radio.TxData, app: p.App, pkt: p})
-		}
-		sort.SliceStable(events, func(i, j int) bool {
-			if events[i].at != events[j].at {
-				return events[i].at < events[j].at
-			}
-			return events[i].kind == radio.TxHeartbeat && events[j].kind != radio.TxHeartbeat
-		})
-		for _, ev := range events {
-			start, err := transmit(ev.at, ev.size, ev.kind, ev.app)
-			if err != nil {
-				return nil, err
-			}
-			if ev.kind == radio.TxHeartbeat {
-				res.HeartbeatCount++
-			} else {
-				recordData(ev.pkt, start, false)
-			}
+// Finish executes the remaining slots to the horizon, force-drains
+// whatever is still queued, accounts energy, and returns the completed
+// result. The result is byte-identical to Run on the same total event set.
+func (e *Engine) Finish() (*Result, error) {
+	if e.finished {
+		return nil, fmt.Errorf("sim: Finish called twice")
+	}
+	for e.slotStart < e.cfg.Horizon {
+		if err := e.step(); err != nil {
+			return nil, err
 		}
 	}
 
 	// Horizon flush: whatever is still queued is drained so every packet is
 	// accounted for. (End effects only; counted separately.)
-	for nextPacket < len(cfg.Packets) {
-		queues.Add(cfg.Packets[nextPacket])
-		nextPacket++
+	for e.nextPacket < len(e.packets) {
+		e.queues.Add(e.packets[e.nextPacket])
+		e.nextPacket++
 	}
+	flushFrom := len(e.res.Packets)
 	for {
-		oldest, ok := queues.Oldest()
+		oldest, ok := e.queues.Oldest()
 		if !ok {
 			break
 		}
-		p, ok := queues.PopByID(oldest.App, oldest.ID)
+		p, ok := e.queues.PopByID(oldest.App, oldest.ID)
 		if !ok {
 			break
 		}
-		start, err := transmit(cfg.Horizon, p.Size, radio.TxData, p.App)
+		start, err := e.transmit(e.cfg.Horizon, p.Size, radio.TxData, p.App)
 		if err != nil {
 			return nil, err
 		}
-		recordData(p, start, true)
-		res.ForcedFlushCount++
+		e.recordData(p, start, true)
+		e.res.ForcedFlushCount++
+	}
+	if e.OnSlot != nil && len(e.res.Packets) > flushFrom {
+		e.OnSlot(SlotResult{Slot: e.cfg.Horizon, Flush: true, Data: e.res.Packets[flushFrom:]})
 	}
 
-	res.Energy = timeline.AccountEnergy(cfg.Power, cfg.Horizon+cfg.Power.TailTime())
-	return res, nil
+	e.res.Energy = e.timeline.AccountEnergy(e.cfg.Power, e.cfg.Horizon+e.cfg.Power.TailTime())
+	e.finished = true
+	return e.res, nil
+}
+
+// transmit serializes one transmission on the radio link, queueing behind
+// the current one if the link is busy.
+func (e *Engine) transmit(at time.Duration, size int64, kind radio.TxKind, app string) (time.Duration, error) {
+	start := at
+	if e.busyUntil > start {
+		start = e.busyUntil
+	}
+	txTime := e.cfg.Bandwidth.TransmitTime(start, size)
+	err := e.timeline.Append(radio.Transmission{
+		Start: start, TxTime: txTime, Size: size, Kind: kind, App: app,
+	})
+	if err != nil {
+		return 0, err
+	}
+	e.busyUntil = start + txTime
+	return start, nil
+}
+
+// recordData appends one data packet's fate to the result.
+func (e *Engine) recordData(p workload.Packet, start time.Duration, forced bool) {
+	e.res.Packets = append(e.res.Packets, PacketStat{
+		ID: p.ID, App: p.App, Size: p.Size,
+		ArrivedAt: p.ArrivedAt, StartedAt: start,
+		Delay:       start - p.ArrivedAt,
+		Violated:    p.DeadlineViolated(start),
+		ForcedFlush: forced,
+	})
+}
+
+// step executes the slot starting at e.slotStart. This is the body of
+// Run's original loop, verbatim: ingest arrivals, collect departures, ask
+// the strategy, inject into Q_TX, interleave on the serialized link.
+func (e *Engine) step() error {
+	slotStart := e.slotStart
+	slotEnd := slotStart + e.slot
+
+	// Packets generated in earlier slots are visible now (the paper's
+	// A_i(t) arrives by the end of slot t).
+	for e.nextPacket < len(e.packets) && e.packets[e.nextPacket].ArrivedAt < slotStart {
+		e.queues.Add(e.packets[e.nextPacket])
+		e.nextPacket++
+	}
+
+	// Train departures within this slot.
+	beatEnd := e.nextBeat
+	for beatEnd < len(e.beats) && e.beats[beatEnd].At < slotEnd {
+		beatEnd++
+	}
+	slotBeats := e.beats[e.nextBeat:beatEnd]
+	e.nextBeat = beatEnd
+
+	ctx := &sched.SlotContext{
+		Now:           slotStart,
+		SlotLength:    e.slot,
+		HeartbeatNow:  len(slotBeats) > 0,
+		Beats:         slotBeats,
+		Queues:        e.queues,
+		MeanBandwidth: e.cfg.Bandwidth.Mean(),
+	}
+	if e.cfg.Estimator != nil {
+		at := slotStart
+		ctx.EstimateBandwidth = func() float64 { return e.cfg.Estimator.Estimate(at) }
+	}
+
+	selected := e.cfg.Strategy.Schedule(ctx)
+	// Q*(t) is injected into the FIFO transmission queue Q_TX, whose
+	// head-of-line packet transmits whenever the radio is free (§IV).
+	e.txQueue.Inject(slotStart, selected)
+
+	// Interleave heartbeats (at their departure instants) and Q_TX
+	// drains (from their injection instants) on the serialized link. A
+	// heartbeat departing exactly at the slot start goes first so data
+	// rides its tail.
+	type txEvent struct {
+		at   time.Duration
+		size int64
+		kind radio.TxKind
+		app  string
+		pkt  workload.Packet
+	}
+	events := make([]txEvent, 0, len(slotBeats)+e.txQueue.Len())
+	for _, b := range slotBeats {
+		events = append(events, txEvent{at: b.At, size: b.Size, kind: radio.TxHeartbeat, app: b.App})
+	}
+	for {
+		p, injectedAt, ok := e.txQueue.Pop()
+		if !ok {
+			break
+		}
+		events = append(events, txEvent{at: injectedAt, size: p.Size, kind: radio.TxData, app: p.App, pkt: p})
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].at != events[j].at {
+			return events[i].at < events[j].at
+		}
+		return events[i].kind == radio.TxHeartbeat && events[j].kind != radio.TxHeartbeat
+	})
+	dataFrom := len(e.res.Packets)
+	for _, ev := range events {
+		start, err := e.transmit(ev.at, ev.size, ev.kind, ev.app)
+		if err != nil {
+			return err
+		}
+		if ev.kind == radio.TxHeartbeat {
+			e.res.HeartbeatCount++
+		} else {
+			e.recordData(ev.pkt, start, false)
+		}
+	}
+	if e.OnSlot != nil {
+		e.OnSlot(SlotResult{Slot: slotStart, Data: e.res.Packets[dataFrom:], Heartbeats: len(slotBeats)})
+	}
+	e.slotStart = slotEnd
+	return nil
+}
+
+// Run executes the simulation in one call: the whole Config is precomputed,
+// so the engine is constructed and finished immediately.
+func Run(cfg Config) (*Result, error) {
+	e, err := NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.Finish()
 }

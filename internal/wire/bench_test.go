@@ -1,0 +1,34 @@
+package wire
+
+import (
+	"testing"
+	"time"
+
+	"etrain/internal/profile"
+)
+
+// BenchmarkWireCodec measures a full encode+decode round trip of a
+// representative session frame mix (the per-frame cost a session pays on
+// each event), using the reusable Writer buffer path via Append.
+func BenchmarkWireCodec(b *testing.B) {
+	msgs := []Message{
+		HeartbeatObserved{At: 90 * time.Second, App: "wechat", Size: 74},
+		CargoArrival{ID: 12, At: 91 * time.Second, App: "mail", Size: 4096, Profile: profile.KindMail, Deadline: 30 * time.Second},
+		Decision{Slot: 91 * time.Second, Entries: []DecisionEntry{{ID: 12, Start: 91 * time.Second}}},
+	}
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, m := range msgs {
+			var err error
+			buf, err = Append(buf[:0], m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := Decode(buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,348 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"etrain/internal/profile"
+)
+
+// headerSize is the fixed frame prefix: uint32 length + version + type.
+const headerSize = 6
+
+// maxEntries bounds a Decision's entry count; it is implied by MaxPayload
+// (each entry is 16 bytes) but checked explicitly before allocating.
+const maxEntries = (MaxPayload - 11) / 16
+
+// Append encodes m as one frame appended to dst and returns the extended
+// slice. Encoding is total on well-formed messages; it fails only on
+// overlong strings or entry lists.
+func Append(dst []byte, m Message) ([]byte, error) {
+	frameFrom := len(dst)
+	dst = append(dst, 0, 0, 0, 0, Version, byte(m.MsgType()))
+	bodyFrom := len(dst)
+	var err error
+	switch v := m.(type) {
+	case Hello:
+		dst = appendU64(dst, v.DeviceID)
+		dst = appendI64(dst, v.Seed)
+		dst = appendF64(dst, v.Theta)
+		dst = binary.BigEndian.AppendUint32(dst, v.K)
+		dst = appendDur(dst, v.Slot)
+		dst = appendDur(dst, v.Horizon)
+	case HeartbeatObserved:
+		dst = appendDur(dst, v.At)
+		if dst, err = appendString(dst, v.App); err != nil {
+			return nil, err
+		}
+		dst = appendI64(dst, v.Size)
+	case CargoArrival:
+		dst = appendU64(dst, v.ID)
+		dst = appendDur(dst, v.At)
+		if dst, err = appendString(dst, v.App); err != nil {
+			return nil, err
+		}
+		dst = appendI64(dst, v.Size)
+		dst = append(dst, byte(v.Profile))
+		dst = appendDur(dst, v.Deadline)
+	case Decision:
+		if len(v.Entries) > maxEntries {
+			return nil, fmt.Errorf("wire: decision with %d entries exceeds the %d-entry frame bound", len(v.Entries), maxEntries)
+		}
+		dst = appendDur(dst, v.Slot)
+		dst = appendBool(dst, v.Flush)
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(v.Entries)))
+		for _, e := range v.Entries {
+			dst = appendU64(dst, e.ID)
+			dst = appendDur(dst, e.Start)
+		}
+	case Ack:
+		dst = appendU64(dst, v.Seq)
+	case StatsSnapshot:
+		dst = appendU64(dst, v.DeviceID)
+		dst = appendF64(dst, v.EnergyJ)
+		dst = appendF64(dst, v.AvgDelayS)
+		dst = appendF64(dst, v.ViolationRatio)
+		dst = appendU64(dst, v.DataPackets)
+		dst = appendU64(dst, v.Heartbeats)
+		dst = appendU64(dst, v.ForcedFlush)
+	default:
+		return nil, fmt.Errorf("wire: cannot encode message type %T", m)
+	}
+	payload := len(dst) - bodyFrom + 2 // version + type bytes
+	if payload > MaxPayload {
+		return nil, fmt.Errorf("wire: frame payload %d exceeds MaxPayload %d", payload, MaxPayload)
+	}
+	binary.BigEndian.PutUint32(dst[frameFrom:], uint32(payload))
+	return dst, nil
+}
+
+// Encode encodes m as one self-contained frame.
+func Encode(m Message) ([]byte, error) {
+	return Append(nil, m)
+}
+
+// Decode decodes the first frame of b, returning the message and the
+// number of bytes consumed. It never panics on hostile input: every
+// length is checked before use, the declared payload must be entirely
+// consumed, and the frame is rejected if it is not the canonical encoding
+// of the returned message.
+func Decode(b []byte) (Message, int, error) {
+	if len(b) < headerSize {
+		return nil, 0, fmt.Errorf("wire: short frame header: %d bytes", len(b))
+	}
+	payload := binary.BigEndian.Uint32(b)
+	if payload < 2 {
+		return nil, 0, fmt.Errorf("wire: payload length %d below version+type minimum", payload)
+	}
+	if payload > MaxPayload {
+		return nil, 0, fmt.Errorf("wire: payload length %d exceeds MaxPayload %d", payload, MaxPayload)
+	}
+	total := int(payload) + 4
+	if len(b) < total {
+		return nil, 0, fmt.Errorf("wire: truncated frame: have %d of %d bytes", len(b), total)
+	}
+	if b[4] != Version {
+		return nil, 0, fmt.Errorf("wire: version %d, want %d", b[4], Version)
+	}
+	typ := Type(b[5])
+	m, err := decodeBody(typ, b[headerSize:total])
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, total, nil
+}
+
+// decodeBody decodes one message body. The body must be consumed exactly.
+func decodeBody(typ Type, body []byte) (Message, error) {
+	d := &decoder{b: body}
+	var m Message
+	switch typ {
+	case TypeHello:
+		m = Hello{
+			DeviceID: d.u64(),
+			Seed:     d.i64(),
+			Theta:    d.f64(),
+			K:        d.u32(),
+			Slot:     d.dur(),
+			Horizon:  d.dur(),
+		}
+	case TypeHeartbeatObserved:
+		m = HeartbeatObserved{At: d.dur(), App: d.str(), Size: d.i64()}
+	case TypeCargoArrival:
+		m = CargoArrival{
+			ID:       d.u64(),
+			At:       d.dur(),
+			App:      d.str(),
+			Size:     d.i64(),
+			Profile:  profile.Kind(d.u8()),
+			Deadline: d.dur(),
+		}
+	case TypeDecision:
+		dec := Decision{Slot: d.dur(), Flush: d.bool()}
+		n := int(d.u16())
+		if d.err == nil && n > 0 {
+			if n > maxEntries || len(d.b)-d.off < n*16 {
+				return nil, fmt.Errorf("wire: decision entry count %d exceeds remaining body", n)
+			}
+			dec.Entries = make([]DecisionEntry, n)
+			for i := range dec.Entries {
+				dec.Entries[i] = DecisionEntry{ID: d.u64(), Start: d.dur()}
+			}
+		}
+		m = dec
+	case TypeAck:
+		m = Ack{Seq: d.u64()}
+	case TypeStatsSnapshot:
+		m = StatsSnapshot{
+			DeviceID:       d.u64(),
+			EnergyJ:        d.f64(),
+			AvgDelayS:      d.f64(),
+			ViolationRatio: d.f64(),
+			DataPackets:    d.u64(),
+			Heartbeats:     d.u64(),
+			ForcedFlush:    d.u64(),
+		}
+	default:
+		return nil, fmt.Errorf("wire: unknown message type %d", uint8(typ))
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("wire: %s: %w", typ, d.err)
+	}
+	if d.off != len(d.b) {
+		return nil, fmt.Errorf("wire: %s: %d trailing body bytes", typ, len(d.b)-d.off)
+	}
+	return m, nil
+}
+
+// decoder is a bounds-checked cursor over a frame body. The first failed
+// read latches err; subsequent reads return zero values, so message
+// decoding reads fields unconditionally and checks err once.
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.b)-d.off < n {
+		d.err = fmt.Errorf("truncated body at offset %d: need %d bytes, have %d", d.off, n, len(d.b)-d.off)
+		return nil
+	}
+	out := d.b[d.off : d.off+n]
+	d.off += n
+	return out
+}
+
+func (d *decoder) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) bool() bool {
+	switch d.u8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		if d.err == nil {
+			d.err = fmt.Errorf("non-canonical boolean at offset %d", d.off-1)
+		}
+		return false
+	}
+}
+
+func (d *decoder) u16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (d *decoder) i64() int64         { return int64(d.u64()) }
+func (d *decoder) dur() time.Duration { return time.Duration(d.i64()) }
+func (d *decoder) f64() float64       { return math.Float64frombits(d.u64()) }
+
+func (d *decoder) str() string {
+	n := int(d.u16())
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+func appendU64(dst []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(dst, v) }
+func appendI64(dst []byte, v int64) []byte  { return appendU64(dst, uint64(v)) }
+func appendF64(dst []byte, v float64) []byte {
+	return appendU64(dst, math.Float64bits(v))
+}
+func appendDur(dst []byte, v time.Duration) []byte { return appendI64(dst, int64(v)) }
+
+func appendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+func appendString(dst []byte, s string) ([]byte, error) {
+	if len(s) > math.MaxUint16 {
+		return nil, fmt.Errorf("wire: string of %d bytes exceeds the uint16 length prefix", len(s))
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...), nil
+}
+
+// Reader decodes a frame stream from an io.Reader, reusing one body
+// buffer across frames.
+type Reader struct {
+	r      io.Reader
+	header [headerSize]byte
+	body   []byte
+}
+
+// NewReader returns a frame reader over r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: r}
+}
+
+// Next reads and decodes the next frame. It returns io.EOF only on a
+// clean frame boundary; a partial frame yields io.ErrUnexpectedEOF.
+func (fr *Reader) Next() (Message, error) {
+	if _, err := io.ReadFull(fr.r, fr.header[:]); err != nil {
+		return nil, err
+	}
+	payload := binary.BigEndian.Uint32(fr.header[:])
+	if payload < 2 {
+		return nil, fmt.Errorf("wire: payload length %d below version+type minimum", payload)
+	}
+	if payload > MaxPayload {
+		return nil, fmt.Errorf("wire: payload length %d exceeds MaxPayload %d", payload, MaxPayload)
+	}
+	if fr.header[4] != Version {
+		return nil, fmt.Errorf("wire: version %d, want %d", fr.header[4], Version)
+	}
+	bodyLen := int(payload) - 2
+	if cap(fr.body) < bodyLen {
+		fr.body = make([]byte, bodyLen)
+	}
+	fr.body = fr.body[:bodyLen]
+	if _, err := io.ReadFull(fr.r, fr.body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return decodeBody(Type(fr.header[5]), fr.body)
+}
+
+// Writer encodes frames onto an io.Writer, reusing one frame buffer, so a
+// frame costs one Write call and no steady-state allocation.
+type Writer struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewWriter returns a frame writer over w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w}
+}
+
+// Write encodes m and writes the frame.
+func (fw *Writer) Write(m Message) error {
+	b, err := Append(fw.buf[:0], m)
+	if err != nil {
+		return err
+	}
+	fw.buf = b
+	_, err = fw.w.Write(b)
+	return err
+}

@@ -1,0 +1,58 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeFrame asserts codec robustness (mirroring tracefile's
+// FuzzParseTrace): arbitrary bytes must decode into a valid message or
+// fail with an error — never panic, never over-allocate on a hostile
+// length prefix. Any frame Decode accepts must re-encode to exactly the
+// bytes consumed (canonical encoding), and the stream Reader must agree
+// with Decode on the same bytes. Seeds beyond the f.Add calls — one
+// valid frame per message type plus near-miss corruptions — are checked
+// in under testdata/fuzz/FuzzDecodeFrame.
+func FuzzDecodeFrame(f *testing.F) {
+	for _, tc := range goldenFrames {
+		b, err := Encode(tc.msg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, Version, byte(TypeAck)})
+	f.Add([]byte{0, 0, 0, 2, Version, byte(TypeDecision)})
+	f.Fuzz(func(t *testing.T, input []byte) {
+		m, n, err := Decode(input)
+		r := NewReader(bytes.NewReader(input))
+		rm, rerr := r.Next()
+		if err != nil {
+			if rerr == nil {
+				t.Fatalf("Decode rejected but Reader accepted %x: %#v", input, rm)
+			}
+			return
+		}
+		if n <= 0 || n > len(input) {
+			t.Fatalf("Decode consumed %d of %d bytes", n, len(input))
+		}
+		// Canonical encoding: re-encoding the decoded message must
+		// reproduce the consumed bytes exactly.
+		re, eerr := Encode(m)
+		if eerr != nil {
+			t.Fatalf("accepted frame does not re-encode: %v", eerr)
+		}
+		if !bytes.Equal(re, input[:n]) {
+			t.Fatalf("non-canonical frame accepted:\n in %x\nout %x", input[:n], re)
+		}
+		// The stream reader must accept the same first frame.
+		if rerr != nil {
+			t.Fatalf("Decode accepted but Reader rejected %x: %v", input[:n], rerr)
+		}
+		rb, err := Encode(rm)
+		if err != nil || !bytes.Equal(rb, re) {
+			t.Fatalf("Reader decoded %#v, Decode decoded %#v", rm, m)
+		}
+	})
+}

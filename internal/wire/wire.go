@@ -1,0 +1,203 @@
+// Package wire is the eTrain service protocol: a versioned,
+// length-prefixed binary frame codec connecting a device (or a load
+// generator standing in for one) to an etraind session.
+//
+// # Frame layout
+//
+// Every frame is
+//
+//	uint32  payload length N (big-endian), N = 2 + len(body)
+//	uint8   protocol version (Version)
+//	uint8   message type (Type)
+//	[]byte  body, fixed layout per type
+//
+// All integers are big-endian; instants and durations travel as int64
+// nanoseconds; floats as IEEE-754 bits; strings as uint16 length + bytes;
+// booleans as one strict 0/1 byte. Every message has exactly one encoding
+// — Decode rejects trailing bytes, over-long frames and non-canonical
+// booleans — so encode∘decode is the identity on valid frames, which the
+// fuzz target and the golden tests hold the codec to.
+//
+// # Session protocol
+//
+// A connection hosts one device session:
+//
+//  1. client → Hello        session config (device identity, Θ, k, horizon,
+//     channel seed)
+//  2. server → Ack{0}       session admitted
+//  3. client → HeartbeatObserved / CargoArrival, in non-decreasing time
+//     order; the server's engine executes slots as virtual time advances
+//     and emits one Decision frame per slot that transmitted data
+//  4. client → Ack{seq}     end of events: run to the horizon
+//  5. server → remaining Decision frames, then StatsSnapshot, then
+//     Ack{seq}; the session is over
+//
+// The decision/metrics stream is a pure function of the inbound frame
+// stream: the codec and the session engine never read the wall clock or an
+// unseeded random source (DESIGN.md §10).
+package wire
+
+import (
+	"time"
+
+	"etrain/internal/profile"
+)
+
+// Version is the protocol version carried by every frame.
+const Version = 1
+
+// MaxPayload bounds a frame's declared payload length; Decode rejects
+// anything larger before allocating, so a hostile length prefix cannot
+// balloon memory.
+const MaxPayload = 1 << 20
+
+// Type identifies a message. The zero value is invalid.
+type Type uint8
+
+// Message types.
+const (
+	TypeHello Type = iota + 1
+	TypeHeartbeatObserved
+	TypeCargoArrival
+	TypeDecision
+	TypeAck
+	TypeStatsSnapshot
+)
+
+// String returns the type's protocol name.
+func (t Type) String() string {
+	switch t {
+	case TypeHello:
+		return "hello"
+	case TypeHeartbeatObserved:
+		return "heartbeat_observed"
+	case TypeCargoArrival:
+		return "cargo_arrival"
+	case TypeDecision:
+		return "decision"
+	case TypeAck:
+		return "ack"
+	case TypeStatsSnapshot:
+		return "stats_snapshot"
+	default:
+		return "invalid"
+	}
+}
+
+// Message is one decoded protocol message.
+type Message interface {
+	// MsgType returns the message's wire type.
+	MsgType() Type
+}
+
+// Hello opens a session: the client announces the device and its
+// scheduling parameters. The server derives the device's channel
+// (bandwidth trace) from Seed, so the heavyweight trace never crosses the
+// wire and both ends of an equivalence test see the same channel.
+type Hello struct {
+	// DeviceID identifies the device; echoed in the final StatsSnapshot.
+	DeviceID uint64
+	// Seed derives the server-side channel model (bandwidth.FromSeed).
+	Seed int64
+	// Theta is the eTrain cost bound Θ.
+	Theta float64
+	// K is the per-heartbeat batch bound k (≥ 1; core.KInfinite for ∞).
+	K uint32
+	// Slot is the decision period; 0 means the strategy default (1 s).
+	Slot time.Duration
+	// Horizon is the session's simulated span.
+	Horizon time.Duration
+}
+
+// MsgType implements Message.
+func (Hello) MsgType() Type { return TypeHello }
+
+// HeartbeatObserved reports one train departure the device's heartbeat
+// monitor observed.
+type HeartbeatObserved struct {
+	// At is the departure instant.
+	At time.Duration
+	// App names the heartbeat-sending application.
+	App string
+	// Size is the heartbeat payload in bytes.
+	Size int64
+}
+
+// MsgType implements Message.
+func (HeartbeatObserved) MsgType() Type { return TypeHeartbeatObserved }
+
+// CargoArrival reports one delay-tolerant data packet handed to the
+// scheduler.
+type CargoArrival struct {
+	// ID is the packet's session-unique identifier, echoed in Decisions.
+	ID uint64
+	// At is the arrival instant t_a(u).
+	At time.Duration
+	// App names the cargo application.
+	App string
+	// Size is the payload in bytes.
+	Size int64
+	// Profile is the delay-cost profile family the packet is charged under.
+	Profile profile.Kind
+	// Deadline parameterizes the profile.
+	Deadline time.Duration
+}
+
+// MsgType implements Message.
+func (CargoArrival) MsgType() Type { return TypeCargoArrival }
+
+// DecisionEntry is one transmitted packet within a Decision.
+type DecisionEntry struct {
+	// ID echoes the CargoArrival's packet identifier.
+	ID uint64
+	// Start is the instant the radio began transmitting the packet.
+	Start time.Duration
+}
+
+// Decision reports the data transmissions of one executed slot: the Q*(t)
+// the strategy released, with the serialized link's start instants.
+type Decision struct {
+	// Slot is the slot's start instant (the horizon for the final flush).
+	Slot time.Duration
+	// Flush marks the horizon drain of still-queued packets.
+	Flush bool
+	// Entries lists the transmitted packets in transmission order.
+	Entries []DecisionEntry
+}
+
+// MsgType implements Message.
+func (Decision) MsgType() Type { return TypeDecision }
+
+// Ack is the protocol's synchronization point: the server acks a Hello
+// with Seq 0, the client marks end-of-events with a chosen Seq, and the
+// server echoes that Seq after the final StatsSnapshot.
+type Ack struct {
+	// Seq is the acknowledged sequence number.
+	Seq uint64
+}
+
+// MsgType implements Message.
+func (Ack) MsgType() Type { return TypeAck }
+
+// StatsSnapshot is the session's final metrics, mirroring sim.Metrics
+// field for field so wire-driven runs can be compared bit-exactly against
+// direct in-process runs.
+type StatsSnapshot struct {
+	// DeviceID echoes the Hello.
+	DeviceID uint64
+	// EnergyJ is the session's total radio energy in joules.
+	EnergyJ float64
+	// AvgDelayS is the normalized (mean per-packet) delay in seconds.
+	AvgDelayS float64
+	// ViolationRatio is the fraction of data packets past their deadline.
+	ViolationRatio float64
+	// DataPackets counts transmitted cargo packets.
+	DataPackets uint64
+	// Heartbeats counts heartbeat transmissions.
+	Heartbeats uint64
+	// ForcedFlush counts packets drained unscheduled at the horizon.
+	ForcedFlush uint64
+}
+
+// MsgType implements Message.
+func (StatsSnapshot) MsgType() Type { return TypeStatsSnapshot }

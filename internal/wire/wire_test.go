@@ -1,0 +1,247 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/hex"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"etrain/internal/profile"
+)
+
+// goldenFrames pins the canonical encoding of every message type. A
+// mismatch here is a protocol break: bump Version before changing any
+// layout.
+var goldenFrames = []struct {
+	name string
+	msg  Message
+	hex  string
+}{
+	{
+		name: "hello",
+		msg:  Hello{DeviceID: 1, Seed: 42, Theta: 2.5, K: 3, Slot: time.Second, Horizon: time.Minute},
+		hex:  "0000002e01010000000000000001000000000000002a400400000000000000000003000000003b9aca000000000df8475800",
+	},
+	{
+		name: "heartbeat_observed",
+		msg:  HeartbeatObserved{At: 1500 * time.Millisecond, App: "mail", Size: 256},
+		hex:  "0000001801020000000059682f0000046d61696c0000000000000100",
+	},
+	{
+		name: "cargo_arrival",
+		msg:  CargoArrival{ID: 7, At: 2 * time.Second, App: "weibo", Size: 1024, Profile: profile.KindWeibo, Deadline: 30 * time.Second},
+		hex:  "0000002a0103000000000000000700000000773594000005776569626f00000000000004000200000006fc23ac00",
+	},
+	{
+		name: "decision",
+		msg:  Decision{Slot: 3 * time.Second, Flush: true, Entries: []DecisionEntry{{ID: 7, Start: 3100 * time.Millisecond}}},
+		hex:  "0000001d010400000000b2d05e00010001000000000000000700000000b8c63f00",
+	},
+	{
+		name: "ack",
+		msg:  Ack{Seq: 9},
+		hex:  "0000000a01050000000000000009",
+	},
+	{
+		name: "stats_snapshot",
+		msg:  StatsSnapshot{DeviceID: 1, EnergyJ: 12.75, AvgDelayS: 0.5, ViolationRatio: 0.125, DataPackets: 10, Heartbeats: 20, ForcedFlush: 2},
+		hex:  "0000003a0106000000000000000140298000000000003fe00000000000003fc0000000000000000000000000000a00000000000000140000000000000002",
+	},
+}
+
+func TestGoldenEncoding(t *testing.T) {
+	for _, tc := range goldenFrames {
+		t.Run(tc.name, func(t *testing.T) {
+			b, err := Encode(tc.msg)
+			if err != nil {
+				t.Fatalf("Encode: %v", err)
+			}
+			if got := hex.EncodeToString(b); got != tc.hex {
+				t.Errorf("encoding drifted:\n got %s\nwant %s", got, tc.hex)
+			}
+			m, n, err := Decode(b)
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if n != len(b) {
+				t.Errorf("Decode consumed %d of %d bytes", n, len(b))
+			}
+			if !reflect.DeepEqual(m, tc.msg) {
+				t.Errorf("round trip: got %#v, want %#v", m, tc.msg)
+			}
+		})
+	}
+}
+
+// roundTripMessages exercises edge values the goldens do not: empty and
+// non-ASCII strings, zero and negative instants, empty and multi-entry
+// decisions, extreme floats.
+func roundTripMessages() []Message {
+	return []Message{
+		Hello{},
+		Hello{DeviceID: ^uint64(0), Seed: -1, Theta: 1e-300, K: ^uint32(0), Slot: -time.Second, Horizon: 1<<62 - 1},
+		HeartbeatObserved{App: ""},
+		HeartbeatObserved{At: -5 * time.Minute, App: "wēi博", Size: -9},
+		CargoArrival{Profile: profile.Kind(200), App: strings.Repeat("x", 1<<16-1)},
+		Decision{},
+		Decision{Slot: time.Hour, Flush: false, Entries: []DecisionEntry{{1, 2}, {3, 4}, {5, 6}}},
+		Ack{},
+		StatsSnapshot{EnergyJ: -0.0, AvgDelayS: 1e300},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, msg := range roundTripMessages() {
+		b, err := Encode(msg)
+		if err != nil {
+			t.Fatalf("Encode(%#v): %v", msg, err)
+		}
+		got, n, err := Decode(b)
+		if err != nil {
+			t.Fatalf("Decode(%#v frame): %v", msg, err)
+		}
+		if n != len(b) {
+			t.Errorf("%T: consumed %d of %d bytes", msg, n, len(b))
+		}
+		// Empty Entries may round-trip as nil; normalize before comparing.
+		want := msg
+		if d, ok := want.(Decision); ok && len(d.Entries) == 0 {
+			d.Entries = nil
+			want = d
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("round trip: got %#v, want %#v", got, want)
+		}
+	}
+}
+
+func TestAppendExtends(t *testing.T) {
+	var buf []byte
+	var err error
+	for _, tc := range goldenFrames {
+		if buf, err = Append(buf, tc.msg); err != nil {
+			t.Fatalf("Append(%s): %v", tc.name, err)
+		}
+	}
+	for _, tc := range goldenFrames {
+		m, n, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("Decode(%s): %v", tc.name, err)
+		}
+		if !reflect.DeepEqual(m, tc.msg) {
+			t.Errorf("%s: got %#v, want %#v", tc.name, m, tc.msg)
+		}
+		buf = buf[n:]
+	}
+	if len(buf) != 0 {
+		t.Errorf("%d bytes left after decoding all frames", len(buf))
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	if _, err := Encode(Decision{Entries: make([]DecisionEntry, maxEntries+1)}); err == nil {
+		t.Error("oversized decision: want error")
+	}
+	if _, err := Encode(HeartbeatObserved{App: strings.Repeat("x", 1<<16)}); err == nil {
+		t.Error("overlong string: want error")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	valid, err := Encode(Ack{Seq: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(mutate func(b []byte) []byte) []byte {
+		b := append([]byte(nil), valid...)
+		return mutate(b)
+	}
+	cases := []struct {
+		name  string
+		frame []byte
+	}{
+		{"empty", nil},
+		{"short header", valid[:5]},
+		{"truncated body", valid[:len(valid)-1]},
+		{"payload below minimum", corrupt(func(b []byte) []byte { b[3] = 1; return b })},
+		{"payload above MaxPayload", corrupt(func(b []byte) []byte { b[0] = 0xff; return b })},
+		{"bad version", corrupt(func(b []byte) []byte { b[4] = 0; return b })},
+		{"unknown type", corrupt(func(b []byte) []byte { b[5] = 99; return b })},
+		{"trailing body bytes", corrupt(func(b []byte) []byte { b[3] += 1; return append(b, 0) })},
+		{"body shorter than type needs", corrupt(func(b []byte) []byte { b[3] -= 1; return b[:len(b)-1] })},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := Decode(tc.frame); err == nil {
+				t.Error("want error, got nil")
+			}
+		})
+	}
+
+	// A Decision flush byte other than 0/1 is non-canonical.
+	dec, err := Encode(Decision{Slot: time.Second, Flush: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec[headerSize+8] = 2
+	if _, _, err := Decode(dec); err == nil {
+		t.Error("non-canonical boolean: want error")
+	}
+
+	// A Decision entry count larger than the remaining body must be
+	// rejected before allocation.
+	dec2, err := Encode(Decision{Slot: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec2[headerSize+9] = 0xff
+	dec2[headerSize+10] = 0xff
+	if _, _, err := Decode(dec2); err == nil {
+		t.Error("entry count past body end: want error")
+	}
+}
+
+func TestReaderWriter(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, tc := range goldenFrames {
+		if err := w.Write(tc.msg); err != nil {
+			t.Fatalf("Write(%s): %v", tc.name, err)
+		}
+	}
+	r := NewReader(&buf)
+	for _, tc := range goldenFrames {
+		m, err := r.Next()
+		if err != nil {
+			t.Fatalf("Next(%s): %v", tc.name, err)
+		}
+		if !reflect.DeepEqual(m, tc.msg) {
+			t.Errorf("%s: got %#v, want %#v", tc.name, m, tc.msg)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("Next at stream end: got %v, want io.EOF", err)
+	}
+}
+
+func TestReaderPartialFrame(t *testing.T) {
+	b, err := Encode(Ack{Seq: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(bytes.NewReader(b[:len(b)-2]))
+	if _, err := r.Next(); err != io.ErrUnexpectedEOF {
+		t.Errorf("partial frame: got %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestReaderHostileLength(t *testing.T) {
+	frame := []byte{0xff, 0xff, 0xff, 0xff, Version, byte(TypeAck)}
+	r := NewReader(bytes.NewReader(frame))
+	if _, err := r.Next(); err == nil {
+		t.Error("hostile length prefix: want error before allocation")
+	}
+}

@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz lint vet determinism bench-json bench-server fleet-smoke serve load clean
+.PHONY: all build test race fuzz lint vet determinism bench-json bench-server fleet-smoke serve load chaos clean
 
 all: build test lint
 
@@ -72,12 +72,26 @@ serve:
 load:
 	$(GO) run ./cmd/etrain-load -devices 1000 -conns 16 -horizon 2m
 
+# Resilience suite, same as the CI chaos job: the fault injector and the
+# self-healing client under the race detector (including the chaos soak —
+# fault-injected fleets must produce decision streams identical to clean
+# loopback), the server's resume/park/drain tests, and a fault-injected
+# load-generation run that must complete every session.
+chaos:
+	$(GO) test -race ./internal/faultnet ./internal/client -count=1
+	$(GO) test -race ./internal/server -run 'Resume|Retain|Shutdown|Drain|Protocol' -count=1
+	$(GO) run ./cmd/etrain-load -devices 200 -conns 16 -horizon 2m -faults 0.1
+
 # Service-layer benchmark snapshot (BenchmarkServerThroughput +
-# BenchmarkWireCodec) through cmd/etrain-benchjson into BENCH_server.json.
+# BenchmarkWireCodec) through cmd/etrain-benchjson into BENCH_server.json,
+# with a fault-injected load soak folded in under the "load" key so the
+# snapshot records healing behavior alongside the microbenchmarks.
 bench-server:
+	$(GO) run ./cmd/etrain-load -devices 300 -conns 16 -horizon 2m \
+		-faults 0.1 -quiet -json /tmp/etrain-load-report.json >/dev/null
 	$(GO) test -run '^$$' -bench 'BenchmarkServerThroughput|BenchmarkWireCodec' -benchmem \
 		-benchtime $(BENCHTIME) ./internal/server ./internal/wire \
-		| $(GO) run ./cmd/etrain-benchjson > BENCH_server.json
+		| $(GO) run ./cmd/etrain-benchjson -load /tmp/etrain-load-report.json > BENCH_server.json
 	@echo "wrote BENCH_server.json"
 
 # End-to-end determinism check: full registry, sequential vs 8 workers,
@@ -92,3 +106,4 @@ clean:
 	$(GO) clean ./...
 	rm -f /tmp/etrain-experiments /tmp/etrain-seq.txt /tmp/etrain-par.txt
 	rm -f /tmp/etrain-fleet /tmp/etrain-fleet-w1.txt /tmp/etrain-fleet-w8.txt
+	rm -f /tmp/etrain-load-report.json

@@ -17,11 +17,22 @@
 // Keys are emitted sorted, so the output is diff-stable across runs of the
 // same benchmark set. When a benchmark appears multiple times (e.g.
 // -count), the last measurement wins.
+//
+// With -load FILE the report from an etrain-load -json run is folded in,
+// and the output becomes a two-section object:
+//
+//	{"benchmarks": {"pkg.BenchmarkName": {...}, ...}, "load": {...}}
+//
+// so BENCH_server.json carries both microbenchmarks and the service-level
+// soak (throughput, latency percentiles, reconnect/resume/degraded-mode
+// healing counts) in one snapshot. Without -load the flat map is emitted
+// unchanged.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -37,12 +48,31 @@ type benchResult struct {
 }
 
 func main() {
+	loadPath := flag.String("load", "", "etrain-load -json report to fold in alongside the benchmarks")
+	flag.Parse()
 	results, err := parseBench(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "etrain-benchjson:", err)
 		os.Exit(1)
 	}
-	data, err := json.MarshalIndent(results, "", "  ")
+	var out any = results
+	if *loadPath != "" {
+		raw, err := os.ReadFile(*loadPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "etrain-benchjson:", err)
+			os.Exit(1)
+		}
+		var load json.RawMessage
+		if err := json.Unmarshal(raw, &load); err != nil {
+			fmt.Fprintf(os.Stderr, "etrain-benchjson: %s: %v\n", *loadPath, err)
+			os.Exit(1)
+		}
+		out = struct {
+			Benchmarks map[string]benchResult `json:"benchmarks"`
+			Load       json.RawMessage        `json:"load"`
+		}{Benchmarks: results, Load: load}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "etrain-benchjson:", err)
 		os.Exit(1)

@@ -6,10 +6,20 @@
 //
 //	go run ./cmd/etrain-load -devices 1000 -conns 16            # in-process loopback
 //	go run ./cmd/etrain-load -addr 127.0.0.1:4810 -devices 1000 # against etraind
+//	go run ./cmd/etrain-load -devices 500 -faults 0.1           # chaos soak
 //
 // With an empty -addr the generator hosts the server itself and drives it
 // over in-process net.Pipe loopback — the same path the CI soak takes —
 // so the service layer can be measured without a network.
+//
+// Sessions run through the self-healing internal/client, so a dropped
+// connection reconnects and resumes rather than failing the device.
+// -faults injects deterministic transport chaos (drops, resets, mid-frame
+// truncation, refused dials) via internal/faultnet, seeded by -fault-seed:
+// the summary then also reports how much healing — reconnects, resumes,
+// full replays, degraded local scheduling — the fleet needed. -json
+// writes the whole report to a file for etrain-benchjson -load to fold
+// into BENCH_server.json.
 //
 // Devices are synthesized exactly like etrain-fleet's (identity-derived
 // from -seed), so a load run replays the same population a fleet
@@ -19,6 +29,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -26,6 +37,8 @@ import (
 	"sync"
 	"time"
 
+	"etrain/internal/client"
+	"etrain/internal/faultnet"
 	"etrain/internal/fleet"
 	"etrain/internal/parallel"
 	"etrain/internal/server"
@@ -42,74 +55,169 @@ func main() {
 	k := flag.Int("k", fleet.DefaultK, "per-heartbeat batch bound k")
 	horizon := flag.Duration("horizon", 10*time.Minute, "per-device simulated span")
 	alpha := flag.Float64("alpha", 0.01, "latency-sketch relative accuracy")
+	faults := flag.Float64("faults", 0, "transport fault intensity in [0, 1): per-op drop f/2, reset f/4, truncate f/4, dial refusal f/4")
+	faultSeed := flag.Int64("fault-seed", 1, "seed rooting the deterministic fault schedule")
+	jsonPath := flag.String("json", "", "also write the report as JSON to this file")
 	quiet := flag.Bool("quiet", false, "suppress the per-run header")
 	flag.Parse()
 
-	if err := run(*addr, *devices, *conns, *seed, *theta, *k, *horizon, *alpha, *quiet); err != nil {
+	if err := run(config{
+		addr:      *addr,
+		devices:   *devices,
+		conns:     *conns,
+		seed:      *seed,
+		theta:     *theta,
+		k:         *k,
+		horizon:   *horizon,
+		alpha:     *alpha,
+		faults:    *faults,
+		faultSeed: *faultSeed,
+		jsonPath:  *jsonPath,
+		quiet:     *quiet,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "etrain-load:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, devices, conns int, seed int64, theta float64, k int, horizon time.Duration, alpha float64, quiet bool) error {
+// config carries the parsed flags.
+type config struct {
+	addr      string
+	devices   int
+	conns     int
+	seed      int64
+	theta     float64
+	k         int
+	horizon   time.Duration
+	alpha     float64
+	faults    float64
+	faultSeed int64
+	jsonPath  string
+	quiet     bool
+}
+
+// report is the machine-readable run summary -json emits; field names are
+// the BENCH_server.json vocabulary.
+type report struct {
+	Devices    int     `json:"devices"`
+	Conns      int     `json:"conns"`
+	Faults     float64 `json:"faults"`
+	FaultSeed  int64   `json:"fault_seed,omitempty"`
+	SessionsOK int     `json:"sessions_ok"`
+	Failed     int     `json:"sessions_failed"`
+	WallMs     float64 `json:"wall_ms"`
+	SessionsPS float64 `json:"sessions_per_sec"`
+
+	LatencyMeanMs float64 `json:"latency_mean_ms"`
+	LatencyP50Ms  float64 `json:"latency_p50_ms"`
+	LatencyP90Ms  float64 `json:"latency_p90_ms"`
+	LatencyP99Ms  float64 `json:"latency_p99_ms"`
+
+	Reconnects       int     `json:"reconnects"`
+	Resumes          int     `json:"resumes"`
+	Replays          int     `json:"replays"`
+	DegradedSessions int     `json:"degraded_sessions"`
+	DegradedEvents   int     `json:"degraded_events"`
+	DegradedMs       float64 `json:"degraded_ms"`
+
+	InjectedDrops       uint64 `json:"injected_drops,omitempty"`
+	InjectedResets      uint64 `json:"injected_resets,omitempty"`
+	InjectedTruncations uint64 `json:"injected_truncations,omitempty"`
+	InjectedDialFails   uint64 `json:"injected_dial_fails,omitempty"`
+
+	ServerParked    uint64 `json:"server_parked,omitempty"`
+	ServerResumed   uint64 `json:"server_resumed,omitempty"`
+	ServerFramesIn  uint64 `json:"server_frames_in,omitempty"`
+	ServerFramesOut uint64 `json:"server_frames_out,omitempty"`
+	ServerDecisions uint64 `json:"server_decisions,omitempty"`
+}
+
+func run(cfg config) error {
+	if cfg.faults < 0 || cfg.faults >= 1 {
+		return fmt.Errorf("faults %v outside [0, 1)", cfg.faults)
+	}
 	pop, err := workload.NewPopulation(workload.DefaultMix())
 	if err != nil {
 		return err
 	}
-	sketch, err := stats.NewSketch(alpha)
+	sketch, err := stats.NewSketch(cfg.alpha)
+	if err != nil {
+		return err
+	}
+	inj, err := faultnet.New(faultnet.Config{
+		Seed:        cfg.faultSeed,
+		Drop:        cfg.faults / 2,
+		Reset:       cfg.faults / 4,
+		Truncate:    cfg.faults / 4,
+		ConnectFail: cfg.faults / 4,
+		MaxChunk:    chunkFor(cfg.faults),
+	})
 	if err != nil {
 		return err
 	}
 
 	var srv *server.Server
-	dial := func() (net.Conn, error) { return net.Dial("tcp", addr) }
-	if addr == "" {
+	rawDial := func() (net.Conn, error) { return net.Dial("tcp", cfg.addr) }
+	if cfg.addr == "" {
 		srv = server.New(server.Config{})
-		dial = func() (net.Conn, error) {
-			client, serverSide := net.Pipe()
+		rawDial = func() (net.Conn, error) {
+			clientSide, serverSide := net.Pipe()
 			go srv.ServeConn(serverSide)
-			return client, nil
+			return clientSide, nil
 		}
 	}
-	if !quiet {
-		target := addr
+	if !cfg.quiet {
+		target := cfg.addr
 		if target == "" {
 			target = "in-process loopback"
 		}
-		fmt.Fprintf(os.Stderr, "etrain-load: %d devices over %d connections against %s\n",
-			devices, parallel.Workers(conns), target)
+		chaos := ""
+		if cfg.faults > 0 {
+			chaos = fmt.Sprintf(" with fault intensity %.2g (seed %d)", cfg.faults, cfg.faultSeed)
+		}
+		fmt.Fprintf(os.Stderr, "etrain-load: %d devices over %d connections against %s%s\n",
+			cfg.devices, parallel.Workers(cfg.conns), target, chaos)
 	}
 
 	var (
 		mu       sync.Mutex
 		latency  stats.Moments
-		failures int
+		rep      report
 		firstErr error
 	)
+	rep.Devices, rep.Conns, rep.Faults = cfg.devices, cfg.conns, cfg.faults
+	if cfg.faults > 0 {
+		rep.FaultSeed = cfg.faultSeed
+	}
 	//lint:ignore notime load-harness boundary: throughput and latency are wall-clock measurements of the service; the sessions themselves are deterministic
 	started := time.Now()
-	err = parallel.ForEach(parallel.NewLimit(conns), devices, func(i int) error {
-		dev, err := fleet.SynthesizeDevice(seed, pop, i, horizon)
+	err = parallel.ForEach(parallel.NewLimit(cfg.conns), cfg.devices, func(i int) error {
+		dev, err := fleet.SynthesizeDevice(cfg.seed, pop, i, cfg.horizon)
 		if err != nil {
 			return err
 		}
-		sess, err := server.SessionFromDevice(dev, theta, k)
-		if err != nil {
-			return err
-		}
-		conn, err := dial()
+		sess, err := server.SessionFromDevice(dev, cfg.theta, cfg.k)
 		if err != nil {
 			return err
 		}
 		//lint:ignore notime load-harness boundary: session latency is measured at the client
 		t0 := time.Now()
-		_, err = server.Drive(conn, sess)
+		out, err := client.Run(client.Config{
+			Dial: inj.Dialer(rawDial, uint64(i)),
+			Seed: cfg.seed + int64(i),
+			//lint:ignore notime load-harness boundary: real reconnect backoff against a real transport
+			Sleep: time.Sleep,
+			//lint:ignore notime load-harness boundary: degraded-mode wall time is a harness measurement
+			Clock:       time.Now,
+			BaseBackoff: 5 * time.Millisecond,
+			MaxBackoff:  250 * time.Millisecond,
+		}, sess)
 		//lint:ignore notime load-harness boundary: session latency is measured at the client
 		elapsed := time.Since(t0)
 		mu.Lock()
 		defer mu.Unlock()
 		if err != nil {
-			failures++
+			rep.Failed++
 			if firstErr == nil {
 				firstErr = fmt.Errorf("device %d: %w", i, err)
 			}
@@ -118,6 +226,14 @@ func run(addr string, devices, conns int, seed int64, theta float64, k int, hori
 		ms := float64(elapsed) / float64(time.Millisecond)
 		latency.Add(ms)
 		sketch.Add(ms)
+		rep.Reconnects += out.Reconnects
+		rep.Resumes += out.Resumes
+		rep.Replays += out.Replays
+		rep.DegradedEvents += out.DegradedEvents
+		rep.DegradedMs += float64(out.DegradedTime) / float64(time.Millisecond)
+		if out.Degraded {
+			rep.DegradedSessions++
+		}
 		return nil
 	})
 	//lint:ignore notime load-harness boundary: throughput and latency are wall-clock measurements of the service; the sessions themselves are deterministic
@@ -126,28 +242,72 @@ func run(addr string, devices, conns int, seed int64, theta float64, k int, hori
 		return err
 	}
 
-	ok := devices - failures
-	fmt.Printf("sessions     %d ok, %d failed\n", ok, failures)
-	fmt.Printf("wall         %s\n", wall.Round(time.Millisecond))
+	rep.SessionsOK = cfg.devices - rep.Failed
+	rep.WallMs = float64(wall) / float64(time.Millisecond)
 	if wall > 0 {
-		fmt.Printf("throughput   %.1f sessions/s\n", float64(ok)/wall.Seconds())
+		rep.SessionsPS = float64(rep.SessionsOK) / wall.Seconds()
 	}
 	if latency.N() > 0 {
-		p50, p90, p99 := quantile(sketch, 50), quantile(sketch, 90), quantile(sketch, 99)
+		rep.LatencyMeanMs = latency.Mean()
+		rep.LatencyP50Ms = quantile(sketch, 50)
+		rep.LatencyP90Ms = quantile(sketch, 90)
+		rep.LatencyP99Ms = quantile(sketch, 99)
+	}
+	fs := inj.Stats()
+	rep.InjectedDrops, rep.InjectedResets = fs.Drops, fs.Resets
+	rep.InjectedTruncations, rep.InjectedDialFails = fs.Truncations, fs.DialFails
+	if srv != nil {
+		s := srv.Stats()
+		rep.ServerParked, rep.ServerResumed = s.Parked, s.Resumed
+		rep.ServerFramesIn, rep.ServerFramesOut = s.FramesIn, s.FramesOut
+		rep.ServerDecisions = s.Decisions
+	}
+
+	fmt.Printf("sessions     %d ok, %d failed\n", rep.SessionsOK, rep.Failed)
+	fmt.Printf("wall         %s\n", wall.Round(time.Millisecond))
+	if wall > 0 {
+		fmt.Printf("throughput   %.1f sessions/s\n", rep.SessionsPS)
+	}
+	if latency.N() > 0 {
 		fmt.Printf("latency ms   mean %.2f  min %.2f  max %.2f\n", latency.Mean(), latency.Min(), latency.Max())
-		fmt.Printf("percentiles  p50 %.2f  p90 %.2f  p99 %.2f\n", p50, p90, p99)
+		fmt.Printf("percentiles  p50 %.2f  p90 %.2f  p99 %.2f\n", rep.LatencyP50Ms, rep.LatencyP90Ms, rep.LatencyP99Ms)
+	}
+	if cfg.faults > 0 {
+		fmt.Printf("chaos        drops %d  resets %d  truncations %d  refused dials %d\n",
+			fs.Drops, fs.Resets, fs.Truncations, fs.DialFails)
+		fmt.Printf("healing      reconnects %d  resumes %d  replays %d  degraded %d sessions / %d events / %.0f ms\n",
+			rep.Reconnects, rep.Resumes, rep.Replays, rep.DegradedSessions, rep.DegradedEvents, rep.DegradedMs)
 	}
 	if srv != nil {
 		s := srv.Stats()
-		fmt.Printf("server       frames in/out %d/%d  decisions %d\n", s.FramesIn, s.FramesOut, s.Decisions)
+		fmt.Printf("server       frames in/out %d/%d  decisions %d  parked %d  resumed %d\n",
+			s.FramesIn, s.FramesOut, s.Decisions, s.Parked, s.Resumed)
+	}
+	if cfg.jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
 	}
 	if firstErr != nil {
 		fmt.Fprintln(os.Stderr, "etrain-load: first failure:", firstErr)
 	}
-	if failures > 0 {
-		return fmt.Errorf("%d of %d sessions failed", failures, devices)
+	if rep.Failed > 0 {
+		return fmt.Errorf("%d of %d sessions failed", rep.Failed, cfg.devices)
 	}
 	return nil
+}
+
+// chunkFor fragments traffic only when chaos is on: short writes are part
+// of the fault model, not the clean measurement path.
+func chunkFor(faults float64) int {
+	if faults > 0 {
+		return 16
+	}
+	return 0
 }
 
 // quantile reads one sketch percentile (0–100), mapping the empty-sketch

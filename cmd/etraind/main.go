@@ -7,9 +7,15 @@
 //	go run ./cmd/etraind -addr :4810
 //	go run ./cmd/etrain-load -addr 127.0.0.1:4810 -devices 1000
 //
+// A session that loses its connection mid-protocol parks for
+// -resume-grace and a reconnecting client adopts it with a Resume
+// handshake, replaying only the unacknowledged tail (DESIGN.md §11).
+//
 // Ctrl-C / SIGTERM starts a graceful drain: new connections are refused,
-// running sessions finish, and after -drain-timeout whatever remains is
-// force-closed. The final counters go to stderr.
+// parked sessions are discarded, running sessions finish — the
+// -drain-timeout deadline is armed on every open connection, so wedged
+// peers cannot stall the drain — and after -drain-timeout whatever
+// remains is force-closed. The final counters go to stderr.
 //
 // This command is a wall-clock boundary of the service subsystem: the
 // clock injected here arms connection deadlines, while internal/server
@@ -38,14 +44,19 @@ func main() {
 	idle := flag.Duration("idle-timeout", 2*time.Minute, "max wait for a client's next frame (0: none)")
 	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "max duration of one frame write (0: none)")
 	drain := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget before force-closing sessions")
+	resumeGrace := flag.Duration("resume-grace", server.DefaultResumeGrace, "how long a disconnected session stays resumable (negative: disable resume)")
+	retainLimit := flag.Int("retain-limit", 0, "max parked sessions awaiting resume (0: default 1024)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "etraind: ", log.LstdFlags)
 	srv := server.New(server.Config{
-		MaxConns:     *maxConns,
-		QueueDepth:   *queueDepth,
-		IdleTimeout:  *idle,
-		WriteTimeout: *writeTimeout,
+		MaxConns:       *maxConns,
+		QueueDepth:     *queueDepth,
+		IdleTimeout:    *idle,
+		WriteTimeout:   *writeTimeout,
+		ResumeGrace:    *resumeGrace,
+		RetainSessions: *retainLimit,
+		DrainTimeout:   *drain,
 		//lint:ignore notime daemon boundary: the injected clock arms connection deadlines; internal/server never reads time itself
 		Clock: time.Now,
 		Logf:  logger.Printf,
@@ -78,6 +89,8 @@ func main() {
 	}
 	s := srv.Stats()
 	fmt.Fprintf(os.Stderr,
-		"etraind: accepted %d rejected %d completed %d errored %d panics %d frames in/out %d/%d decisions %d\n",
-		s.Accepted, s.Rejected, s.Completed, s.Errored, s.Panics, s.FramesIn, s.FramesOut, s.Decisions)
+		"etraind: accepted %d rejected %d completed %d errored %d panics %d parked %d resumed %d misses %d discarded %d frames in/out %d/%d decisions %d\n",
+		s.Accepted, s.Rejected, s.Completed, s.Errored, s.Panics,
+		s.Parked, s.Resumed, s.ResumeMisses, s.Discarded,
+		s.FramesIn, s.FramesOut, s.Decisions)
 }

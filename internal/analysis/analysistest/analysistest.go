@@ -46,6 +46,15 @@ type want struct {
 // resolve inside the same testdata/src tree.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
 	t.Helper()
+	RunAll(t, testdata, []*analysis.Analyzer{a}, pkgPaths...)
+}
+
+// RunAll is Run over a set of analyzers at once: each fixture package is
+// checked against the union of every analyzer's diagnostics, so one
+// fixture can carry want comments for several patrols — the way real
+// packages face the whole vet suite rather than one check at a time.
+func RunAll(t *testing.T, testdata string, analyzers []*analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
 	srcRoot := filepath.Join(testdata, "src")
 	loader := analysis.NewLoader(func(importPath string) (string, bool) {
 		dir := filepath.Join(srcRoot, filepath.FromSlash(importPath))
@@ -59,7 +68,7 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string
 		if err != nil {
 			t.Fatalf("load %s: %v", pkgPath, err)
 		}
-		diags := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+		diags := analysis.Run([]*analysis.Package{pkg}, analyzers)
 		wants := collectWants(t, pkg)
 
 	diagLoop:

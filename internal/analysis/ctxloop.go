@@ -8,16 +8,21 @@ import (
 
 // fanOutPackages are the layers ctxloop patrols: the worker pool, the
 // simulation runner that fans runs across it, the fleet engine that
-// shards populations over the pool, and the service layer whose accept
+// shards populations over the pool, the service layer whose accept
 // loop and session reader/processor pairs spawn goroutines per
-// connection. Stray goroutines here are exactly the ones that can outlive
-// a sweep (or a drained server) and race its result slots.
+// connection, and the resilience layer — the fault injector and the
+// self-healing client, whose per-connection reader goroutines must join
+// before an exchange returns. Stray goroutines here are exactly the ones
+// that can outlive a sweep (or a drained server) and race its result
+// slots.
 var fanOutPackages = []string{
 	"etrain/internal/parallel",
 	"etrain/internal/sim",
 	"etrain/internal/fleet",
 	"etrain/internal/wire",
 	"etrain/internal/server",
+	"etrain/internal/faultnet",
+	"etrain/internal/client",
 }
 
 // CtxLoop checks goroutine hygiene in the fan-out layers:

@@ -36,3 +36,13 @@ func TestCtxLoop(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t), analysis.CtxLoop,
 		"etrain/internal/parallel", "ctxloopscope")
 }
+
+// TestResiliencePatrol runs the determinism patrols together over the
+// resilience-layer fixtures: faultnet and the self-healing client are in
+// ctxloop's fan-out set and subject to notime/norand like any sim-path
+// package, and their fixtures carry want comments for all three at once.
+func TestResiliencePatrol(t *testing.T) {
+	analysistest.RunAll(t, analysistest.TestData(t),
+		[]*analysis.Analyzer{analysis.CtxLoop, analysis.NoTime, analysis.NoRand},
+		"etrain/internal/faultnet", "etrain/internal/client")
+}

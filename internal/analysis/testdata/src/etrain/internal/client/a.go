@@ -1,0 +1,49 @@
+// Package client stands in for the real etrain/internal/client: the
+// self-healing client's backoff and probe cadence must be injected and
+// seed-derived, and its per-connection reader goroutines must join, so
+// it faces the notime, norand and ctxloop patrols together.
+package client
+
+import (
+	"crypto/rand" // want `import of crypto/rand outside internal/randx; derive a deterministic stream with randx.New/randx.Derive instead`
+	"time"
+)
+
+// backoffInline sleeps the reconnect delay directly instead of through
+// the injected Sleep, coupling tests to real time.
+func backoffInline(d time.Duration) {
+	time.Sleep(d) // want `time.Sleep reads the wall clock outside the real-time boundary`
+}
+
+// jitterFromEntropy draws backoff jitter from the OS: the reconnect
+// schedule stops being a pure function of the seed.
+func jitterFromEntropy() byte {
+	var b [1]byte
+	rand.Read(b[:])
+	return b[0]
+}
+
+// degradedStopwatch reads the wall clock instead of an injected Clock.
+func degradedStopwatch() time.Time {
+	return time.Now() // want `time.Now reads the wall clock outside the real-time boundary`
+}
+
+// readAsync spawns a reader per connection with nothing joining it: a
+// leaked reader races the next exchange for the conn.
+func readAsync(reads []func() error) {
+	for i := range reads {
+		go func() { // want `goroutine has no join or cancellation path`
+			reads[i]() // want `goroutine closure captures loop variable i`
+		}()
+	}
+}
+
+// readJoined is the exchange shape the real client uses: the reader owns
+// the conn and hands its result over a channel the caller always drains.
+func readJoined(read func() error) error {
+	done := make(chan error, 1)
+	go func() {
+		done <- read()
+	}()
+	return <-done
+}

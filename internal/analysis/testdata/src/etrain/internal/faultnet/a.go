@@ -1,0 +1,53 @@
+// Package faultnet stands in for the real etrain/internal/faultnet: a
+// fault injector is pure schedule, so it faces the full determinism
+// patrol — no wall clock, no direct rand, and goroutine hygiene in the
+// fan-out set.
+package faultnet
+
+import (
+	"math/rand" // want `import of math/rand outside internal/randx; derive a deterministic stream with randx.New/randx.Derive instead`
+	"time"
+)
+
+// latencyFromWallClock is the forbidden shape: deriving a fault delay
+// from the real clock makes the schedule unreplayable.
+func latencyFromWallClock() time.Duration {
+	return time.Since(start) // want `time.Since reads the wall clock outside the real-time boundary`
+}
+
+var start = time.Now() // want `time.Now reads the wall clock outside the real-time boundary`
+
+// drawFault seeds from the global PRNG: two runs, two schedules.
+func drawFault(rate float64) bool {
+	return rand.Float64() < rate
+}
+
+// imposeLatency sleeps inline instead of going through an injected Sleep.
+func imposeLatency(d time.Duration) {
+	time.Sleep(d) // want `time.Sleep reads the wall clock outside the real-time boundary`
+}
+
+// killAsync fires a fire-and-forget goroutine per conn in a loop:
+// untracked kills can outlive the injector that spawned them.
+func killAsync(conns []func()) {
+	for _, kill := range conns {
+		go func() { // want `goroutine has no join or cancellation path`
+			kill() // want `goroutine closure captures loop variable kill`
+		}()
+	}
+}
+
+// killJoined is the sanctioned shape: the kill is passed in and the
+// goroutine signals completion on a channel.
+func killJoined(conns []func()) {
+	done := make(chan struct{}, len(conns))
+	for _, kill := range conns {
+		go func(kill func()) {
+			kill()
+			done <- struct{}{}
+		}(kill)
+	}
+	for range conns {
+		<-done
+	}
+}

@@ -1,0 +1,113 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"etrain/internal/faultnet"
+	"etrain/internal/server"
+)
+
+// TestChaosSoak is the capstone resilience check: a fleet of devices runs
+// full sessions against one shared server through a hostile transport —
+// ≥10% drop and reset rates, mid-frame truncation, fragmented writes,
+// refused dials — and every device must still assemble exactly the
+// decision stream and stats a clean loopback run produces. Reconnect,
+// resume, full replay and degraded local scheduling are all allowed
+// healing paths; silent frame loss is not.
+func TestChaosSoak(t *testing.T) {
+	devices := 24
+	if testing.Short() {
+		devices = 8
+	}
+	inj, err := faultnet.New(faultnet.Config{
+		Seed:        42,
+		Drop:        0.10,
+		Reset:       0.10,
+		Truncate:    0.05,
+		ConnectFail: 0.15,
+		MaxChunk:    7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	goroutines := runtime.NumGoroutine()
+	srv := server.New(server.Config{})
+	rawDial := func() (net.Conn, error) {
+		c, sconn := net.Pipe()
+		go srv.ServeConn(sconn)
+		return c, nil
+	}
+
+	type result struct {
+		index int
+		out   *Outcome
+		err   error
+	}
+	sessions := make([]server.Session, devices)
+	baselines := make([]*server.DeviceOutcome, devices)
+	for i := range sessions {
+		sessions[i] = testSession(t, i)
+		baselines[i] = baseline(t, sessions[i])
+	}
+
+	results := make([]result, devices)
+	var wg sync.WaitGroup
+	for i := 0; i < devices; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out, err := Run(Config{
+				Dial:       inj.Dialer(rawDial, uint64(i)),
+				Seed:       int64(i),
+				RetryEvery: 4,
+			}, sessions[i])
+			results[i] = result{index: i, out: out, err: err}
+		}(i)
+	}
+	wg.Wait()
+
+	var reconnects, resumes, replays, stints int
+	for i := 0; i < devices; i++ {
+		r := results[i]
+		if r.err != nil {
+			t.Errorf("device %d: %v", i, r.err)
+			continue
+		}
+		assertEquivalent(t, r.out, baselines[i])
+		reconnects += r.out.Reconnects
+		resumes += r.out.Resumes
+		replays += r.out.Replays
+		stints += r.out.DegradedStints
+	}
+	fs := inj.Stats()
+	t.Logf("chaos: %d devices healed through %d drops, %d resets, %d truncations, %d refused dials: %d reconnects, %d resumes, %d replays, %d degraded stints",
+		devices, fs.Drops, fs.Resets, fs.Truncations, fs.DialFails, reconnects, resumes, replays, stints)
+	if fs.Drops+fs.Resets+fs.Truncations+fs.DialFails == 0 {
+		t.Error("chaos run injected no faults; the soak exercised nothing")
+	}
+	if reconnects == 0 {
+		t.Error("chaos run never reconnected; fault rates too low to exercise healing")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown after soak: %v", err)
+	}
+	waitFor(t, func() bool { return runtime.NumGoroutine() <= goroutines+2 },
+		func() string {
+			return fmt.Sprintf("goroutines leaked: %d at start, %d after shutdown", goroutines, runtime.NumGoroutine())
+		})
+
+	s := srv.Stats()
+	if s.Detached != 0 {
+		t.Errorf("detached sessions survived shutdown: %+v", s)
+	}
+}

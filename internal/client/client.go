@@ -1,0 +1,455 @@
+// Package client is the self-healing counterpart to internal/server: it
+// replays one device session against an etraind server and survives a
+// hostile transport. A broken connection triggers reconnection with
+// capped, deterministically jittered exponential backoff; a reconnect
+// resumes the parked server session (wire.Resume) and replays only the
+// unacknowledged tail; and when the server stays unreachable the client
+// degrades gracefully to local scheduling — the same server.Replayer
+// code path the server itself runs — so decisions keep flowing and, by
+// determinism, are byte-identical to what the server would have sent
+// (DESIGN.md §11).
+package client
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"etrain/internal/radio"
+	"etrain/internal/randx"
+	"etrain/internal/server"
+	"etrain/internal/wire"
+)
+
+// Defaults for the zero Config.
+const (
+	// DefaultMaxAttempts is how many consecutive no-progress connection
+	// attempts are tolerated before degrading to local scheduling.
+	DefaultMaxAttempts = 5
+	// DefaultBaseBackoff seeds the exponential reconnect backoff.
+	DefaultBaseBackoff = 50 * time.Millisecond
+	// DefaultMaxBackoff caps the exponential reconnect backoff.
+	DefaultMaxBackoff = 5 * time.Second
+	// DefaultRetryEvery is how many locally applied events pass between
+	// reconnection probes while degraded.
+	DefaultRetryEvery = 64
+)
+
+// resumeRetries is how many additional Resume handshakes are attempted
+// after a failed one before falling back to a full Hello replay. The
+// client notices a dead transport before the server does (its own write
+// fails first), so the first Resume can race the server parking the old
+// session; one backed-off retry absorbs that window.
+const resumeRetries = 1
+
+// Config parameterizes a resilient session run.
+type Config struct {
+	// Dial opens a connection to the server. Required. It is called for
+	// the initial connection, every reconnect, and degraded-mode probes.
+	Dial func() (net.Conn, error)
+	// Power is the radio model for degraded-mode local scheduling
+	// (radio.GalaxyS43G() if unset) — it must match the server's model
+	// for local decisions to be identical.
+	Power radio.PowerModel
+	// MaxAttempts bounds consecutive no-progress attempts before the
+	// client degrades to local scheduling (DefaultMaxAttempts if zero).
+	MaxAttempts int
+	// BaseBackoff and MaxBackoff shape the reconnect backoff
+	// (DefaultBaseBackoff / DefaultMaxBackoff if zero).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Seed roots the deterministic backoff jitter.
+	Seed int64
+	// Sleep imposes backoff waits; nil disables waiting (tests retry
+	// instantly but still draw identical jitter sequences).
+	Sleep func(time.Duration)
+	// Clock, when non-nil, measures wall time spent in degraded mode.
+	Clock func() time.Time
+	// RetryEvery is the initial degraded-mode probe cadence, in applied
+	// events (DefaultRetryEvery if zero); it doubles with every stint so
+	// sustained chaos converges on a probe-free local completion.
+	RetryEvery int
+}
+
+// Outcome is what one resilient session run produced, plus how hard the
+// transport fought it.
+type Outcome struct {
+	Decisions []wire.Decision
+	Stats     wire.StatsSnapshot
+
+	Attempts       int           // dial attempts, including the first and degraded probes
+	Reconnects     int           // successful dials after the first
+	Resumes        int           // successful Resume handshakes
+	Replays        int           // full Hello replays after losing an admitted session
+	DegradedStints int           // times the client fell back to local scheduling
+	DegradedEvents int           // events first scheduled locally while degraded
+	Degraded       bool          // DegradedStints > 0
+	DegradedTime   time.Duration // wall time degraded (needs Clock)
+}
+
+// state is one run's progress: the outbound journal, the authoritative
+// frame stream assembled so far, and the resume bookkeeping.
+type state struct {
+	cfg     Config
+	hello   wire.Hello
+	token   uint64
+	journal []wire.Message // events then the finish Ack; frame n is journal[n-1]
+
+	// out is the session's authoritative server-frame stream: decisions,
+	// then stats, then the final ack — whether frames arrived over a
+	// connection or were generated locally while degraded. len(out) is
+	// what Resume confirms.
+	out  []wire.Message
+	done bool
+
+	admitted    bool // a server accepted our Hello at least once
+	canResume   bool // the parked session is presumed resumable
+	resumeFails int  // consecutive failed Resume handshakes
+	// maxApplied is the highest journal frame known applied by the
+	// authoritative engine (server's ResumeOK, or local replay).
+	maxApplied int
+
+	// probeEvery is the current degraded-mode probe cadence. It starts at
+	// cfg.RetryEvery and doubles with every stint: each abandoned stint is
+	// evidence the transport is still hostile, so probing backs off until a
+	// stint eventually runs probe-free and completes the session locally —
+	// guaranteeing termination under sustained chaos while a brief outage
+	// still reconciles on the first probe.
+	probeEvery int
+
+	attempts       int
+	reconnects     int
+	resumes        int
+	replays        int
+	stints         int
+	degradedEvents int
+	degradedTime   time.Duration
+}
+
+// Run replays sess against the server reached through cfg.Dial,
+// reconnecting, resuming and degrading as needed, until the session's
+// full decision stream and stats snapshot are assembled. It fails only
+// on protocol or engine errors — never on transport faults.
+func Run(cfg Config, sess server.Session) (*Outcome, error) {
+	if cfg.Dial == nil {
+		return nil, fmt.Errorf("client: Config.Dial is required")
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = DefaultMaxAttempts
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = DefaultBaseBackoff
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = DefaultMaxBackoff
+	}
+	if cfg.RetryEvery <= 0 {
+		cfg.RetryEvery = DefaultRetryEvery
+	}
+	if cfg.Power.Validate() != nil {
+		cfg.Power = radio.GalaxyS43G()
+	}
+
+	journal := make([]wire.Message, 0, len(sess.Events)+1)
+	journal = append(journal, sess.Events...)
+	journal = append(journal, wire.Ack{Seq: uint64(len(sess.Events)) + 1})
+	st := &state{
+		cfg:        cfg,
+		hello:      sess.Hello,
+		token:      wire.SessionToken(sess.Hello),
+		journal:    journal,
+		probeEvery: cfg.RetryEvery,
+	}
+	rng := randx.New(randx.Derive(cfg.Seed, sess.Hello.DeviceID, 0x6261636b6f6666)) // "backoff"
+
+	consecFail := 0
+	var conn net.Conn // a live connection handed over by a degraded probe
+	for !st.done {
+		if conn == nil {
+			c, err := cfg.Dial()
+			st.attempts++
+			if err != nil {
+				consecFail++
+				if consecFail >= cfg.MaxAttempts {
+					consecFail = 0
+					c2, err := st.stint()
+					if err != nil {
+						return nil, err
+					}
+					conn = c2
+				} else {
+					st.backoff(rng, consecFail)
+				}
+				continue
+			}
+			if st.attempts > 1 {
+				st.reconnects++
+			}
+			conn = c
+		}
+		progress, err := st.exchange(conn)
+		conn = nil
+		if err != nil {
+			return nil, err
+		}
+		if st.done {
+			break
+		}
+		if progress {
+			consecFail = 0
+			continue
+		}
+		consecFail++
+		if consecFail >= cfg.MaxAttempts {
+			consecFail = 0
+			c2, err := st.stint()
+			if err != nil {
+				return nil, err
+			}
+			conn = c2
+			continue
+		}
+		st.backoff(rng, consecFail)
+	}
+	return st.outcome()
+}
+
+// backoff sleeps the capped exponential delay for the given consecutive
+// failure count, with deterministic jitter in [d/2, d].
+func (st *state) backoff(rng *randx.Source, consec int) {
+	d := st.cfg.BaseBackoff
+	for i := 1; i < consec && d < st.cfg.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > st.cfg.MaxBackoff {
+		d = st.cfg.MaxBackoff
+	}
+	half := int64(d / 2)
+	jittered := time.Duration(half + rng.Int63()%(half+1))
+	if st.cfg.Sleep != nil {
+		st.cfg.Sleep(jittered)
+	}
+}
+
+// readResult is one connection's collected server frames.
+type readResult struct {
+	frames []wire.Message
+	final  bool
+	err    error
+}
+
+// exchange runs one full attempt on conn: handshake (Resume when an
+// admitted session is presumed parked, Hello otherwise), stream the
+// unacknowledged journal tail, and collect server frames until the
+// final ack or a transport failure. It closes conn, reports whether the
+// attempt advanced the session, and returns an error only for
+// unrecoverable protocol violations.
+func (st *state) exchange(conn net.Conn) (progress bool, fatal error) {
+	defer conn.Close()
+	w := wire.NewWriter(conn)
+	r := wire.NewReader(conn)
+
+	var start uint64 // journal frames the server already consumed
+	skip := 0        // duplicate regenerated frames to discard (full replay)
+	if st.admitted && st.canResume {
+		resume := wire.Resume{DeviceID: st.hello.DeviceID, Token: st.token, Got: uint64(len(st.out))}
+		if err := w.Write(resume); err != nil {
+			return false, nil
+		}
+		m, err := r.Next()
+		if err != nil {
+			// Indistinguishable here: the server refused the resume (not
+			// parked yet, expired, or disabled) or the transport died.
+			// Retry the resume a bounded number of times — the backoff
+			// gives a server that has not yet noticed the dead conn time
+			// to park — then fall back to a full Hello replay; determinism
+			// makes either path safe.
+			st.resumeFails++
+			if st.resumeFails > resumeRetries {
+				st.canResume = false
+			}
+			return false, nil
+		}
+		ok, is := m.(wire.ResumeOK)
+		if !is {
+			return false, fmt.Errorf("client: resume answer is %s, want resume_ok", m.MsgType())
+		}
+		if ok.Got > uint64(len(st.journal)) {
+			return false, fmt.Errorf("client: server consumed %d frames, session has %d", ok.Got, len(st.journal))
+		}
+		st.resumes++
+		st.resumeFails = 0
+		start = ok.Got
+		if int(ok.Got) > st.maxApplied {
+			st.maxApplied = int(ok.Got)
+		}
+	} else {
+		if err := w.Write(st.hello); err != nil {
+			return false, nil
+		}
+		m, err := r.Next()
+		if err != nil {
+			return false, nil
+		}
+		a, is := m.(wire.Ack)
+		if !is || a.Seq != 0 {
+			return false, fmt.Errorf("client: admission frame is %v, want ack{0}", m)
+		}
+		if st.admitted {
+			st.replays++
+		}
+		st.admitted = true
+		st.canResume = true
+		st.resumeFails = 0
+		start = 0
+		skip = len(st.out)
+	}
+
+	// The reader goroutine is the conn's only reader from here; it exits
+	// on the final ack or the first read error, and the handover below
+	// joins it on every path (the conn closes either way, so a blocked
+	// read cannot strand it).
+	done := make(chan readResult, 1)
+	go func() {
+		var fs []wire.Message
+		toSkip := skip
+		for {
+			m, err := r.Next()
+			if err != nil {
+				done <- readResult{frames: fs, err: err}
+				return
+			}
+			if toSkip > 0 {
+				toSkip--
+				continue
+			}
+			fs = append(fs, m)
+			if _, isAck := m.(wire.Ack); isAck {
+				done <- readResult{frames: fs, final: true}
+				return
+			}
+		}
+	}()
+	var writeErr error
+	for i := start; i < uint64(len(st.journal)); i++ {
+		if writeErr = w.Write(st.journal[i]); writeErr != nil {
+			break
+		}
+	}
+	if writeErr != nil {
+		// The transport died mid-stream; close to unblock the reader.
+		conn.Close()
+	}
+	// With all writes delivered, the reader ends on the server's final
+	// ack — or on the server's own failure closing the conn.
+	res := <-done
+
+	st.out = append(st.out, res.frames...)
+	if res.final {
+		st.done = true
+	}
+	return len(res.frames) > 0, nil
+}
+
+// stint is graceful degradation: with the server unreachable, the
+// client schedules locally by replaying its whole journal through the
+// same server.Replayer the server runs, suppressing the authoritative
+// prefix it already holds. Every probeEvery applied events it probes
+// the dialer once; a successful probe hands the live connection back to
+// the reconnect loop for resume reconciliation. If no probe ever lands
+// (or probing has backed off past the journal length), the stint
+// completes the session entirely locally.
+func (st *state) stint() (net.Conn, error) {
+	st.stints++
+	var t0 time.Time
+	if st.cfg.Clock != nil {
+		t0 = st.cfg.Clock()
+	}
+	defer func() {
+		if st.cfg.Clock != nil {
+			st.degradedTime += st.cfg.Clock().Sub(t0)
+		}
+	}()
+
+	localSkip := len(st.out)
+	seq := 0
+	rep, err := server.NewReplayer(st.hello, st.cfg.Power, func(m wire.Message) error {
+		seq++
+		if seq > localSkip {
+			st.out = append(st.out, m)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("client: degraded replay: %w", err)
+	}
+	every := st.probeEvery
+	if st.probeEvery < 1<<30 {
+		st.probeEvery *= 2
+	}
+	countdown := every
+	for i, frame := range st.journal {
+		if err := rep.Apply(frame); err != nil {
+			return nil, fmt.Errorf("client: degraded replay: %w", err)
+		}
+		if i+1 > st.maxApplied {
+			st.maxApplied = i + 1
+			st.degradedEvents++
+		}
+		if rep.Done() {
+			st.done = true
+			return nil, nil
+		}
+		countdown--
+		if countdown <= 0 {
+			countdown = every
+			conn, err := st.cfg.Dial()
+			st.attempts++
+			if err == nil {
+				st.reconnects++
+				return conn, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("client: local replay exhausted events before finishing")
+}
+
+// outcome assembles the final Outcome from the authoritative stream.
+func (st *state) outcome() (*Outcome, error) {
+	o := &Outcome{
+		Attempts:       st.attempts,
+		Reconnects:     st.reconnects,
+		Resumes:        st.resumes,
+		Replays:        st.replays,
+		DegradedStints: st.stints,
+		DegradedEvents: st.degradedEvents,
+		Degraded:       st.stints > 0,
+		DegradedTime:   st.degradedTime,
+	}
+	sawStats := false
+	for i, m := range st.out {
+		switch v := m.(type) {
+		case wire.Decision:
+			if sawStats {
+				return nil, fmt.Errorf("client: decision after stats snapshot")
+			}
+			o.Decisions = append(o.Decisions, v)
+		case wire.StatsSnapshot:
+			if v.DeviceID != st.hello.DeviceID {
+				return nil, fmt.Errorf("client: stats for device %d, want %d", v.DeviceID, st.hello.DeviceID)
+			}
+			o.Stats = v
+			sawStats = true
+		case wire.Ack:
+			if !sawStats || i != len(st.out)-1 {
+				return nil, fmt.Errorf("client: misplaced ack in session stream")
+			}
+		default:
+			return nil, fmt.Errorf("client: unexpected %s frame in session stream", m.MsgType())
+		}
+	}
+	if !sawStats {
+		return nil, fmt.Errorf("client: session stream has no stats snapshot")
+	}
+	return o, nil
+}

@@ -1,0 +1,175 @@
+package server
+
+import (
+	"fmt"
+
+	"etrain/internal/bandwidth"
+	"etrain/internal/core"
+	"etrain/internal/heartbeat"
+	"etrain/internal/profile"
+	"etrain/internal/radio"
+	"etrain/internal/sched"
+	"etrain/internal/sim"
+	"etrain/internal/wire"
+	"etrain/internal/workload"
+)
+
+// newStrategy builds a session's scheduling strategy from its Hello. A
+// package variable so the panic-isolation test can substitute a hostile
+// strategy; production sessions always host the core eTrain scheduler.
+var newStrategy = func(h wire.Hello) (sched.Strategy, error) {
+	return core.New(core.Options{Theta: h.Theta, K: int(h.K), Slot: h.Slot})
+}
+
+// Replayer turns a session's inbound wire frames into its outbound wire
+// frames: one incremental sim.Engine driven event by event, emitting the
+// Decision stream, the final StatsSnapshot and the echoed finish Ack.
+//
+// It is the single code path behind the protocol — the server's live
+// sessions and the client's degraded-mode local fallback both drive a
+// Replayer — which is what makes a device's frame stream a pure function
+// of its Hello and events, identical no matter which side of a dead
+// connection produced it (DESIGN.md §11).
+type Replayer struct {
+	hello   wire.Hello
+	engine  *sim.Engine
+	pending []wire.Decision
+	emit    func(wire.Message) error
+	done    bool
+}
+
+// NewReplayer validates the Hello and builds the replayer: the channel
+// trace is rebuilt from the Hello's seed, and emit receives every
+// outbound session frame in protocol order. An emit error aborts the
+// current Apply and is returned as-is (unwrapped), so callers can
+// distinguish transport failures from protocol violations.
+func NewReplayer(h wire.Hello, power radio.PowerModel, emit func(wire.Message) error) (*Replayer, error) {
+	strategy, err := newStrategy(h)
+	if err != nil {
+		return nil, fmt.Errorf("server: hello: %w", err)
+	}
+	bw, err := bandwidth.FromSeed(h.Seed, h.Horizon, nil)
+	if err != nil {
+		return nil, fmt.Errorf("server: hello: channel from seed: %w", err)
+	}
+	if power.Validate() != nil {
+		power = radio.GalaxyS43G()
+	}
+	engine, err := sim.NewEngine(sim.Config{
+		Horizon:   h.Horizon,
+		Beats:     []heartbeat.Beat{},
+		Bandwidth: bw,
+		Power:     power,
+		Strategy:  strategy,
+		Seed:      h.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server: hello: %w", err)
+	}
+	rp := &Replayer{hello: h, engine: engine, emit: emit}
+	engine.OnSlot = func(r sim.SlotResult) {
+		if len(r.Data) == 0 {
+			return
+		}
+		d := wire.Decision{Slot: r.Slot, Flush: r.Flush, Entries: make([]wire.DecisionEntry, len(r.Data))}
+		for i, p := range r.Data {
+			d.Entries[i] = wire.DecisionEntry{ID: uint64(p.ID), Start: p.StartedAt}
+		}
+		rp.pending = append(rp.pending, d)
+	}
+	return rp, nil
+}
+
+// Hello returns the session parameters the replayer was built from.
+func (rp *Replayer) Hello() wire.Hello { return rp.hello }
+
+// Done reports whether the finish exchange has run.
+func (rp *Replayer) Done() bool { return rp.done }
+
+// Apply feeds one client session frame — HeartbeatObserved, CargoArrival,
+// or the finish Ack — executing every simulation slot it completes and
+// emitting the resulting frames. A protocol or engine error is returned
+// wrapped with context; an emit error is returned exactly as emit
+// produced it.
+func (rp *Replayer) Apply(m wire.Message) error {
+	if rp.done {
+		return fmt.Errorf("server: %s frame after finish", m.MsgType())
+	}
+	switch v := m.(type) {
+	case wire.HeartbeatObserved:
+		b := heartbeat.Beat{At: v.At, App: v.App, Size: v.Size}
+		if err := rp.engine.AddBeat(b); err != nil {
+			return fmt.Errorf("server: %w", err)
+		}
+		if err := rp.engine.Advance(v.At); err != nil {
+			return fmt.Errorf("server: %w", err)
+		}
+		return rp.flush()
+	case wire.CargoArrival:
+		prof, err := profile.New(v.Profile, v.Deadline)
+		if err != nil {
+			return fmt.Errorf("server: cargo %d: %w", v.ID, err)
+		}
+		p := workload.Packet{
+			ID:        int(v.ID),
+			App:       v.App,
+			ArrivedAt: v.At,
+			Size:      v.Size,
+			Profile:   prof,
+		}
+		if err := rp.engine.AddPacket(p); err != nil {
+			return fmt.Errorf("server: %w", err)
+		}
+		if err := rp.engine.Advance(v.At); err != nil {
+			return fmt.Errorf("server: %w", err)
+		}
+		return rp.flush()
+	case wire.Ack:
+		return rp.finish(v)
+	default:
+		return fmt.Errorf("server: unexpected %s frame mid-session", m.MsgType())
+	}
+}
+
+// finish runs the engine to the horizon and emits the closing frames: the
+// flush decisions, the StatsSnapshot, and the echoed Ack.
+func (rp *Replayer) finish(ack wire.Ack) error {
+	res, err := rp.engine.Finish()
+	if err != nil {
+		return fmt.Errorf("server: finish: %w", err)
+	}
+	if err := rp.flush(); err != nil {
+		return err
+	}
+	m := res.Metrics()
+	snap := wire.StatsSnapshot{
+		DeviceID:       rp.hello.DeviceID,
+		EnergyJ:        m.EnergyJ,
+		AvgDelayS:      m.AvgDelayS,
+		ViolationRatio: m.ViolationRatio,
+		DataPackets:    uint64(m.DataPackets),
+		Heartbeats:     uint64(m.Heartbeats),
+		ForcedFlush:    uint64(m.ForcedFlush),
+	}
+	if err := rp.emit(snap); err != nil {
+		return err
+	}
+	if err := rp.emit(wire.Ack{Seq: ack.Seq}); err != nil {
+		return err
+	}
+	rp.done = true
+	return nil
+}
+
+// flush emits and clears the buffered Decision frames.
+func (rp *Replayer) flush() error {
+	for len(rp.pending) > 0 {
+		d := rp.pending[0]
+		rp.pending = rp.pending[1:]
+		if err := rp.emit(d); err != nil {
+			return err
+		}
+	}
+	rp.pending = nil
+	return nil
+}

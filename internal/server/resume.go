@@ -1,0 +1,137 @@
+package server
+
+import "time"
+
+// sessionKey identifies a parked session: the device plus the session
+// token both ends derive from the Hello (wire.SessionToken), so a resume
+// cannot adopt a session opened under different parameters.
+type sessionKey struct {
+	device uint64
+	token  uint64
+}
+
+// parkedEntry is one detached session awaiting resume. Entries live in
+// both the detached map (lookup) and parkOrder (FIFO age order); an
+// entry superseded in the map stays in parkOrder as a stale marker and
+// is skipped when it reaches the front.
+type parkedEntry struct {
+	key       sessionKey
+	sess      *session
+	expiry    time.Time
+	hasExpiry bool
+}
+
+// park moves sess into the detached registry for later resume. It
+// refuses — returning false so the caller falls back to a terminal
+// error — when parking is disabled (ResumeGrace < 0) or the server is
+// draining. Expiry is armed only under an injected Clock; without one
+// the registry is bounded by RetainSessions alone.
+func (s *Server) park(sess *session) bool {
+	if s.cfg.ResumeGrace < 0 {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.sweepDetachedLocked()
+	e := &parkedEntry{
+		key:  sessionKey{device: sess.hello.DeviceID, token: sess.token},
+		sess: sess,
+	}
+	if s.cfg.Clock != nil {
+		e.expiry = s.cfg.Clock().Add(s.cfg.ResumeGrace)
+		e.hasExpiry = true
+	}
+	if _, ok := s.detached[e.key]; ok {
+		// A newer park for the same key supersedes the old session; its
+		// parkOrder entry goes stale and is dropped during pops.
+		s.discarded.Add(1)
+	}
+	s.detached[e.key] = e
+	s.parkOrder = append(s.parkOrder, e)
+	for len(s.detached) > s.cfg.RetainSessions {
+		s.evictOldestLocked()
+	}
+	s.parked.Add(1)
+	return true
+}
+
+// takeDetached removes and returns the parked session for key, or nil.
+// Removal under the lock makes resume adoption an ownership transfer:
+// two racing Resume frames for one key cannot both win.
+func (s *Server) takeDetached(key sessionKey) *session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepDetachedLocked()
+	e, ok := s.detached[key]
+	if !ok {
+		return nil
+	}
+	delete(s.detached, key)
+	return e.sess
+}
+
+// dropDetached discards any parked session for key. A cleanly completed
+// session calls it so a stale parked twin (parked, then healed via a
+// full Hello replay instead of resume) does not linger to expiry.
+func (s *Server) dropDetached(key sessionKey) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.detached[key]; ok {
+		delete(s.detached, key)
+		s.discarded.Add(1)
+	}
+}
+
+// sweepDetachedLocked expires parked sessions whose grace has elapsed.
+// Entries are appended in park order under a constant grace, so expiry
+// is monotone along parkOrder: walk from the front, dropping stale
+// markers, until the first live unexpired entry.
+func (s *Server) sweepDetachedLocked() {
+	if s.cfg.Clock == nil {
+		return
+	}
+	now := s.cfg.Clock()
+	for len(s.parkOrder) > 0 {
+		e := s.parkOrder[0]
+		if s.detached[e.key] != e {
+			s.parkOrder = s.parkOrder[1:] // stale: superseded or taken
+			continue
+		}
+		if !e.hasExpiry || now.Before(e.expiry) {
+			return
+		}
+		s.parkOrder = s.parkOrder[1:]
+		delete(s.detached, e.key)
+		s.discarded.Add(1)
+	}
+}
+
+// evictOldestLocked discards the oldest live parked session, keeping
+// the registry within RetainSessions.
+func (s *Server) evictOldestLocked() {
+	for len(s.parkOrder) > 0 {
+		e := s.parkOrder[0]
+		s.parkOrder = s.parkOrder[1:]
+		if s.detached[e.key] != e {
+			continue // stale marker
+		}
+		delete(s.detached, e.key)
+		s.discarded.Add(1)
+		return
+	}
+}
+
+// discardDetachedLocked empties the registry (Shutdown), counting every
+// dropped session.
+func (s *Server) discardDetachedLocked() {
+	n := len(s.detached)
+	if n == 0 && len(s.parkOrder) == 0 {
+		return
+	}
+	s.detached = make(map[sessionKey]*parkedEntry)
+	s.parkOrder = nil
+	s.discarded.Add(uint64(n))
+}

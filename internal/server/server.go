@@ -30,10 +30,21 @@ const (
 	// session's engine falls behind, its reader stops pulling frames after
 	// this many are queued and the transport exerts backpressure.
 	DefaultQueueDepth = 64
+	// DefaultResumeGrace is how long a session disconnected mid-protocol
+	// stays parked awaiting resume (expiry needs a Clock).
+	DefaultResumeGrace = 2 * time.Minute
+	// DefaultRetainSessions caps the detached-session registry; beyond it
+	// the oldest parked session is discarded.
+	DefaultRetainSessions = 1024
 )
 
 // ErrServerClosed reports that Serve stopped because Shutdown began.
 var ErrServerClosed = errors.New("server: closed")
+
+// ErrSessionParked reports that a session lost its transport mid-protocol
+// and parked its engine state for resume instead of failing. It is how
+// ServeConn distinguishes a recoverable disconnect from a protocol error.
+var ErrSessionParked = errors.New("server: session parked awaiting resume")
 
 // Config parameterizes a Server. The zero value serves with defaults, no
 // deadlines and the Galaxy S4 power model.
@@ -49,6 +60,21 @@ type Config struct {
 	IdleTimeout time.Duration
 	// WriteTimeout bounds each outbound frame write; it needs a Clock.
 	WriteTimeout time.Duration
+	// ResumeGrace is how long a session that lost its transport stays
+	// parked awaiting a Resume (DefaultResumeGrace if zero; negative
+	// disables parking entirely, restoring fail-on-disconnect). Grace
+	// expiry needs a Clock; without one parked sessions are bounded only
+	// by RetainSessions.
+	ResumeGrace time.Duration
+	// RetainSessions caps the detached-session registry
+	// (DefaultRetainSessions if zero); the oldest parked session is
+	// discarded when the cap is exceeded.
+	RetainSessions int
+	// DrainTimeout, with a Clock, bounds how long Shutdown waits for live
+	// sessions: the drain arms this deadline on every open connection, so
+	// sessions whose peers never read or write are forced to unwind even
+	// when Shutdown's context has no deadline of its own.
+	DrainTimeout time.Duration
 	// Power is the radio energy model sessions account under
 	// (radio.GalaxyS43G() if unset).
 	Power radio.PowerModel
@@ -63,35 +89,46 @@ type Config struct {
 // Counters is a snapshot of the server's monotonic event counts (Active
 // excepted, which is the instantaneous session count).
 type Counters struct {
-	Accepted  uint64 // connections admitted into sessions
-	Rejected  uint64 // connections refused (limit reached or draining)
-	Active    uint64 // sessions currently running
-	Completed uint64 // sessions that ran the full protocol
-	Errored   uint64 // sessions ended by a protocol or transport error
-	Panics    uint64 // sessions ended by a recovered panic
-	FramesIn  uint64 // frames decoded from clients
-	FramesOut uint64 // frames written to clients
-	Decisions uint64 // Decision frames among FramesOut
+	Accepted     uint64 // connections admitted into sessions
+	Rejected     uint64 // connections refused (limit reached or draining)
+	Active       uint64 // sessions currently running
+	Completed    uint64 // sessions that ran the full protocol
+	Errored      uint64 // sessions ended by a protocol or transport error
+	Panics       uint64 // sessions ended by a recovered panic
+	Parked       uint64 // sessions parked after losing their transport
+	Resumed      uint64 // parked sessions adopted by a Resume handshake
+	ResumeMisses uint64 // Resume frames naming no parked session
+	Discarded    uint64 // parked sessions dropped without resume
+	Detached     uint64 // parked sessions currently awaiting resume
+	FramesIn     uint64 // frames decoded from clients
+	FramesOut    uint64 // frames written to clients
+	Decisions    uint64 // Decision frames among FramesOut
 }
 
 // Server hosts device sessions over accepted connections.
 type Server struct {
 	cfg Config
 
-	accepted  atomic.Uint64
-	rejected  atomic.Uint64
-	active    atomic.Int64
-	completed atomic.Uint64
-	errored   atomic.Uint64
-	panics    atomic.Uint64
-	framesIn  atomic.Uint64
-	framesOut atomic.Uint64
-	decisions atomic.Uint64
+	accepted     atomic.Uint64
+	rejected     atomic.Uint64
+	active       atomic.Int64
+	completed    atomic.Uint64
+	errored      atomic.Uint64
+	panics       atomic.Uint64
+	parked       atomic.Uint64
+	resumed      atomic.Uint64
+	resumeMisses atomic.Uint64
+	discarded    atomic.Uint64
+	framesIn     atomic.Uint64
+	framesOut    atomic.Uint64
+	decisions    atomic.Uint64
 
 	mu        sync.Mutex
 	closed    bool
 	conns     map[net.Conn]struct{}
 	listeners map[net.Listener]struct{}
+	detached  map[sessionKey]*parkedEntry
+	parkOrder []*parkedEntry
 	wg        sync.WaitGroup
 }
 
@@ -103,6 +140,12 @@ func New(cfg Config) *Server {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = DefaultQueueDepth
 	}
+	if cfg.ResumeGrace == 0 {
+		cfg.ResumeGrace = DefaultResumeGrace
+	}
+	if cfg.RetainSessions <= 0 {
+		cfg.RetainSessions = DefaultRetainSessions
+	}
 	if cfg.Power.Validate() != nil {
 		cfg.Power = radio.GalaxyS43G()
 	}
@@ -110,6 +153,7 @@ func New(cfg Config) *Server {
 		cfg:       cfg,
 		conns:     make(map[net.Conn]struct{}),
 		listeners: make(map[net.Listener]struct{}),
+		detached:  make(map[sessionKey]*parkedEntry),
 	}
 }
 
@@ -159,7 +203,8 @@ func (s *Server) ServeConn(conn net.Conn) error {
 
 // serveSession runs one registered session with panic isolation: a panic
 // in the session (or the strategy it hosts) is recovered, counted, and
-// confined to its connection.
+// confined to its connection. Outcomes count three ways: completed,
+// parked (recoverable disconnect, engine retained), or errored.
 func (s *Server) serveSession(conn net.Conn) (err error) {
 	s.accepted.Add(1)
 	s.active.Add(1)
@@ -171,9 +216,12 @@ func (s *Server) serveSession(conn net.Conn) (err error) {
 		s.active.Add(-1)
 		s.unregister(conn)
 		conn.Close()
-		if err == nil {
+		switch {
+		case err == nil:
 			s.completed.Add(1)
-		} else {
+		case errors.Is(err, ErrSessionParked):
+			// Counted by park itself; not a failure, so not logged as one.
+		default:
 			s.errored.Add(1)
 			s.logf("session %v: %v", conn.RemoteAddr(), err)
 		}
@@ -182,14 +230,25 @@ func (s *Server) serveSession(conn net.Conn) (err error) {
 }
 
 // Shutdown drains the server: it stops accepting, rejects new sessions,
-// and waits for running sessions to finish. If ctx expires first, the
-// remaining connections are force-closed and Shutdown waits for their
-// sessions to unwind before returning ctx's error.
+// discards parked sessions, and waits for running sessions to finish.
+// With a Clock and a DrainTimeout, that wait is bounded without help
+// from ctx: the drain deadline is armed on every open connection, so a
+// session stuck on a peer that never reads or writes is forced off its
+// blocked I/O and unwinds. If ctx expires first, the remaining
+// connections are force-closed and Shutdown waits for their sessions to
+// unwind before returning ctx's error.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.closed = true
 	for l := range s.listeners {
 		l.Close()
+	}
+	s.discardDetachedLocked()
+	if s.cfg.Clock != nil && s.cfg.DrainTimeout > 0 {
+		deadline := s.cfg.Clock().Add(s.cfg.DrainTimeout)
+		for conn := range s.conns {
+			conn.SetDeadline(deadline)
+		}
 	}
 	s.mu.Unlock()
 
@@ -218,16 +277,24 @@ func (s *Server) Stats() Counters {
 	if active < 0 {
 		active = 0
 	}
+	s.mu.Lock()
+	detached := uint64(len(s.detached))
+	s.mu.Unlock()
 	return Counters{
-		Accepted:  s.accepted.Load(),
-		Rejected:  s.rejected.Load(),
-		Active:    uint64(active),
-		Completed: s.completed.Load(),
-		Errored:   s.errored.Load(),
-		Panics:    s.panics.Load(),
-		FramesIn:  s.framesIn.Load(),
-		FramesOut: s.framesOut.Load(),
-		Decisions: s.decisions.Load(),
+		Accepted:     s.accepted.Load(),
+		Rejected:     s.rejected.Load(),
+		Active:       uint64(active),
+		Completed:    s.completed.Load(),
+		Errored:      s.errored.Load(),
+		Panics:       s.panics.Load(),
+		Parked:       s.parked.Load(),
+		Resumed:      s.resumed.Load(),
+		ResumeMisses: s.resumeMisses.Load(),
+		Discarded:    s.discarded.Load(),
+		Detached:     detached,
+		FramesIn:     s.framesIn.Load(),
+		FramesOut:    s.framesOut.Load(),
+		Decisions:    s.decisions.Load(),
 	}
 }
 

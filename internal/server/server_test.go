@@ -336,6 +336,7 @@ func TestProtocolErrors(t *testing.T) {
 	okHello := wire.Hello{Theta: 1, K: 2, Horizon: time.Minute}
 	cases := []struct {
 		name string
+		cfg  Config
 		send func(w *wire.Writer, r *wire.Reader) error
 		want string
 		// closeEarly hangs up right after sending, for the case whose
@@ -395,17 +396,27 @@ func TestProtocolErrors(t *testing.T) {
 			want: "unexpected decision",
 		},
 		{
+			// With parking disabled a mid-session hangup is terminal; the
+			// default configuration parks instead (see resume_test.go).
 			name: "close before finish",
+			cfg:  Config{ResumeGrace: -1},
 			send: func(w *wire.Writer, r *wire.Reader) error {
 				return admit(w, r, okHello)
 			},
 			want:       "before finish",
 			closeEarly: true,
 		},
+		{
+			name: "resume unknown session",
+			send: func(w *wire.Writer, r *wire.Reader) error {
+				return w.Write(wire.Resume{DeviceID: 9, Token: 9, Got: 0})
+			},
+			want: "no detached session",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			srv := New(Config{})
+			srv := New(tc.cfg)
 			client, serverSide := net.Pipe()
 			srvErr := make(chan error, 1)
 			go func() { srvErr <- srv.ServeConn(serverSide) }()

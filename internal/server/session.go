@@ -5,34 +5,44 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 
-	"etrain/internal/bandwidth"
-	"etrain/internal/core"
-	"etrain/internal/heartbeat"
-	"etrain/internal/profile"
-	"etrain/internal/sched"
-	"etrain/internal/sim"
 	"etrain/internal/wire"
-	"etrain/internal/workload"
 )
 
-// newStrategy builds the session's scheduling strategy from its Hello. A
-// package variable so the panic-isolation test can substitute a hostile
-// strategy; production sessions always host the core eTrain scheduler.
-var newStrategy = func(h wire.Hello) (sched.Strategy, error) {
-	return core.New(core.Options{Theta: h.Theta, K: int(h.K), Slot: h.Slot})
+// journaled is one emitted session frame retained for resume replay.
+type journaled struct {
+	seq uint64
+	msg wire.Message
 }
 
-// session is one connection's protocol state: a frame reader feeding a
-// bounded event queue, and an incremental engine turning events into
-// Decision frames.
+// session is one device's protocol state: a frame reader feeding a
+// bounded event queue, a Replayer turning events into outbound frames,
+// and the sequence bookkeeping that lets the session survive its
+// connection. A session outlives a broken conn: it parks in the server's
+// detached registry and a later Resume handshake adopts it onto a fresh
+// connection (DESIGN.md §11).
 type session struct {
-	srv     *Server
-	conn    net.Conn
-	w       *wire.Writer
-	engine  *sim.Engine
-	pending []wire.Decision
-	hello   wire.Hello
+	srv   *Server
+	conn  net.Conn
+	w     *wire.Writer
+	rep   *Replayer
+	hello wire.Hello
+	token uint64
+
+	// inSeq counts client session frames consumed by the engine; it is
+	// what ResumeOK reports so the client resends only unprocessed events.
+	inSeq uint64
+	// outSeq numbers emitted session frames; skipTo suppresses emissions
+	// the client already holds (it resumed ahead after degraded mode).
+	outSeq uint64
+	skipTo uint64
+	// journal retains exactly the frames with seq in (skipTo, outSeq] for
+	// replay; Resume{Got} prunes the prefix the client confirms.
+	journal []journaled
+	// broken latches the first transport write error on the current conn;
+	// emission keeps journaling past it so nothing is lost before parking.
+	broken error
 }
 
 // inbound is one decoded frame (or the reader's terminal error) queued
@@ -42,15 +52,16 @@ type inbound struct {
 	err error
 }
 
-// runSession speaks the session protocol on conn: Hello/Ack handshake,
-// then events in, decisions out, then the finish exchange. The reader
-// goroutine is the only conn reader and the processor the only writer;
-// the bounded queue between them is the session's backpressure: when the
-// engine falls behind, the reader stops pulling frames and the transport
-// blocks the client.
+// runSession speaks the session protocol on conn: a Hello or Resume
+// handshake, then events in, decisions out, then the finish exchange.
+// The reader goroutine is the only conn reader and the processor the
+// only writer; the bounded queue between them is the session's
+// backpressure: when the engine falls behind, the reader stops pulling
+// frames and the transport blocks the client.
+//
+// A transport failure mid-session does not discard the engine: the
+// session parks for ResumeGrace and runSession returns ErrSessionParked.
 func (s *Server) runSession(conn net.Conn) error {
-	sess := &session{srv: s, conn: conn, w: wire.NewWriter(conn)}
-
 	events := make(chan inbound, s.cfg.QueueDepth)
 	stop := make(chan struct{})
 	readerDone := make(chan struct{})
@@ -84,158 +95,165 @@ func (s *Server) runSession(conn net.Conn) error {
 		<-readerDone
 	}()
 
-	// Handshake: the first frame must be a Hello.
+	// Handshake: the first frame opens a fresh session (Hello) or adopts
+	// a parked one (Resume).
 	first := <-events
 	if first.err != nil {
 		return fmt.Errorf("server: reading hello: %w", first.err)
 	}
-	hello, ok := first.msg.(wire.Hello)
-	if !ok {
+	var sess *session
+	switch h := first.msg.(type) {
+	case wire.Hello:
+		sess = &session{srv: s, conn: conn, w: wire.NewWriter(conn)}
+		rep, err := NewReplayer(h, s.cfg.Power, sess.emit)
+		if err != nil {
+			return err
+		}
+		sess.rep = rep
+		sess.hello = h
+		sess.token = wire.SessionToken(h)
+		if err := sess.write(wire.Ack{Seq: 0}); err != nil {
+			return err
+		}
+	case wire.Resume:
+		var err error
+		sess, err = s.adopt(conn, h)
+		if err != nil {
+			return err
+		}
+		if sess.broken != nil {
+			// The new conn died during the resume replay; park again.
+			return s.reparkOr(sess, fmt.Errorf("server: resume replay: %w", sess.broken))
+		}
+		if sess.rep.Done() {
+			return sess.complete()
+		}
+	default:
 		return fmt.Errorf("server: first frame is %s, want hello", first.msg.MsgType())
-	}
-	if err := sess.open(hello); err != nil {
-		return err
-	}
-	if err := sess.write(wire.Ack{Seq: 0}); err != nil {
-		return err
 	}
 
 	// Event loop: feed the engine until the client's end-of-events Ack.
 	for ev := range events {
 		if ev.err != nil {
-			if errors.Is(ev.err, io.EOF) {
-				return fmt.Errorf("server: connection closed before finish ack")
+			if transportErr(ev.err) {
+				return s.reparkOr(sess, readLossErr(ev.err))
 			}
 			return fmt.Errorf("server: reading frame: %w", ev.err)
 		}
-		switch m := ev.msg.(type) {
-		case wire.HeartbeatObserved:
-			if err := sess.onBeat(m); err != nil {
-				return err
-			}
-		case wire.CargoArrival:
-			if err := sess.onCargo(m); err != nil {
-				return err
-			}
-		case wire.Ack:
-			return sess.finish(m)
-		default:
-			return fmt.Errorf("server: unexpected %s frame mid-session", ev.msg.MsgType())
+		sess.inSeq++
+		if err := sess.rep.Apply(ev.msg); err != nil {
+			return err
+		}
+		if sess.broken != nil {
+			return s.reparkOr(sess, fmt.Errorf("server: writing frame: %w", sess.broken))
+		}
+		if sess.rep.Done() {
+			return sess.complete()
 		}
 	}
 	return fmt.Errorf("server: event queue closed") // unreachable
 }
 
-// open validates the Hello and builds the session's engine: the channel
-// trace is rebuilt from the Hello's seed, and the engine starts with
-// empty event buffers that inbound frames append to.
-func (sess *session) open(h wire.Hello) error {
-	strategy, err := newStrategy(h)
-	if err != nil {
-		return fmt.Errorf("server: hello: %w", err)
+// adopt moves a parked session onto conn: it validates the Resume
+// against the detached registry, prunes the journal to the client's
+// confirmed prefix, answers ResumeOK with the server's consumed-event
+// count, and replays the retained frames.
+func (s *Server) adopt(conn net.Conn, r wire.Resume) (*session, error) {
+	sess := s.takeDetached(sessionKey{device: r.DeviceID, token: r.Token})
+	if sess == nil {
+		s.resumeMisses.Add(1)
+		return nil, fmt.Errorf("server: resume: no detached session for device %d", r.DeviceID)
 	}
-	bw, err := bandwidth.FromSeed(h.Seed, h.Horizon, nil)
-	if err != nil {
-		return fmt.Errorf("server: hello: channel from seed: %w", err)
+	if r.Got < sess.skipTo {
+		// The client confirms less than a previous resume did; the frames
+		// in between were pruned and cannot be regenerated here.
+		s.discarded.Add(1)
+		return nil, fmt.Errorf("server: resume gap: client got %d, journal starts after %d", r.Got, sess.skipTo)
 	}
-	engine, err := sim.NewEngine(sim.Config{
-		Horizon:   h.Horizon,
-		Beats:     []heartbeat.Beat{},
-		Bandwidth: bw,
-		Power:     sess.srv.cfg.Power,
-		Strategy:  strategy,
-		Seed:      h.Seed,
-	})
-	if err != nil {
-		return fmt.Errorf("server: hello: %w", err)
+	s.resumed.Add(1)
+	sess.conn = conn
+	sess.w = wire.NewWriter(conn)
+	sess.broken = nil
+	// Drop the confirmed prefix; suppress regeneration of anything the
+	// client already holds (it may be ahead after degraded-mode work).
+	for len(sess.journal) > 0 && sess.journal[0].seq <= r.Got {
+		sess.journal = sess.journal[1:]
 	}
-	engine.OnSlot = func(r sim.SlotResult) {
-		if len(r.Data) == 0 {
-			return
-		}
-		d := wire.Decision{Slot: r.Slot, Flush: r.Flush, Entries: make([]wire.DecisionEntry, len(r.Data))}
-		for i, p := range r.Data {
-			d.Entries[i] = wire.DecisionEntry{ID: uint64(p.ID), Start: p.StartedAt}
-		}
-		sess.pending = append(sess.pending, d)
+	sess.skipTo = r.Got
+	sess.send(wire.ResumeOK{Got: sess.inSeq})
+	for _, j := range sess.journal {
+		sess.send(j.msg)
 	}
-	sess.engine = engine
-	sess.hello = h
+	return sess, nil
+}
+
+// reparkOr parks sess after a transport failure, or returns fallback
+// when parking is disabled or refused.
+func (s *Server) reparkOr(sess *session, fallback error) error {
+	if s.park(sess) {
+		return ErrSessionParked
+	}
+	return fallback
+}
+
+// readLossErr renders a transport-level read failure in the session's
+// historical error vocabulary.
+func readLossErr(err error) error {
+	if errors.Is(err, io.EOF) {
+		return errors.New("server: connection closed before finish ack")
+	}
+	return fmt.Errorf("server: reading frame: %w", err)
+}
+
+// transportErr reports whether err is a connection-level failure — the
+// kind a reconnecting client can heal — rather than a protocol or
+// engine error.
+func transportErr(err error) bool {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, wire.ErrTruncated) || errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	var nerr net.Error
+	return errors.As(err, &nerr)
+}
+
+// complete finishes a session cleanly, dropping any stale parked twin —
+// a session that parked and was then healed by a full Hello replay
+// rather than a resume — so it does not linger to expiry.
+func (sess *session) complete() error {
+	sess.srv.dropDetached(sessionKey{device: sess.hello.DeviceID, token: sess.token})
 	return nil
 }
 
-// onBeat feeds one heartbeat observation and executes every slot it
-// completes, streaming out the decisions.
-func (sess *session) onBeat(m wire.HeartbeatObserved) error {
-	b := heartbeat.Beat{At: m.At, App: m.App, Size: m.Size}
-	if err := sess.engine.AddBeat(b); err != nil {
-		return fmt.Errorf("server: %w", err)
+// emit is the Replayer's sink: it numbers the frame, suppresses what the
+// client already holds, journals the rest for resume, and best-effort
+// writes. It never fails — a write error latches sess.broken so the
+// engine finishes the event cleanly and the session parks afterwards
+// with every frame journaled.
+func (sess *session) emit(m wire.Message) error {
+	sess.outSeq++
+	if sess.outSeq <= sess.skipTo {
+		return nil
 	}
-	if err := sess.engine.Advance(m.At); err != nil {
-		return fmt.Errorf("server: %w", err)
-	}
-	return sess.flushDecisions()
+	sess.journal = append(sess.journal, journaled{seq: sess.outSeq, msg: m})
+	sess.send(m)
+	return nil
 }
 
-// onCargo feeds one cargo arrival, rebuilding its delay-cost profile from
-// the wire kind.
-func (sess *session) onCargo(m wire.CargoArrival) error {
-	prof, err := profile.New(m.Profile, m.Deadline)
-	if err != nil {
-		return fmt.Errorf("server: cargo %d: %w", m.ID, err)
+// send writes m on the current conn unless it is already broken,
+// latching the first error.
+func (sess *session) send(m wire.Message) {
+	if sess.broken != nil {
+		return
 	}
-	p := workload.Packet{
-		ID:        int(m.ID),
-		App:       m.App,
-		ArrivedAt: m.At,
-		Size:      m.Size,
-		Profile:   prof,
+	if err := sess.write(m); err != nil {
+		sess.broken = err
+		return
 	}
-	if err := sess.engine.AddPacket(p); err != nil {
-		return fmt.Errorf("server: %w", err)
-	}
-	if err := sess.engine.Advance(m.At); err != nil {
-		return fmt.Errorf("server: %w", err)
-	}
-	return sess.flushDecisions()
-}
-
-// finish runs the engine to the horizon and closes the protocol: the
-// remaining decisions, the StatsSnapshot, and the echoed Ack.
-func (sess *session) finish(ack wire.Ack) error {
-	res, err := sess.engine.Finish()
-	if err != nil {
-		return fmt.Errorf("server: finish: %w", err)
-	}
-	if err := sess.flushDecisions(); err != nil {
-		return err
-	}
-	m := res.Metrics()
-	snap := wire.StatsSnapshot{
-		DeviceID:       sess.hello.DeviceID,
-		EnergyJ:        m.EnergyJ,
-		AvgDelayS:      m.AvgDelayS,
-		ViolationRatio: m.ViolationRatio,
-		DataPackets:    uint64(m.DataPackets),
-		Heartbeats:     uint64(m.Heartbeats),
-		ForcedFlush:    uint64(m.ForcedFlush),
-	}
-	if err := sess.write(snap); err != nil {
-		return err
-	}
-	return sess.write(wire.Ack{Seq: ack.Seq})
-}
-
-// flushDecisions writes and clears the buffered Decision frames.
-func (sess *session) flushDecisions() error {
-	for _, d := range sess.pending {
-		if err := sess.write(d); err != nil {
-			return err
-		}
+	if _, ok := m.(wire.Decision); ok {
 		sess.srv.decisions.Add(1)
 	}
-	sess.pending = sess.pending[:0]
-	return nil
 }
 
 // write sends one frame under the configured write deadline.

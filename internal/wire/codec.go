@@ -2,6 +2,7 @@ package wire
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -61,6 +62,12 @@ func Append(dst []byte, m Message) ([]byte, error) {
 		}
 	case Ack:
 		dst = appendU64(dst, v.Seq)
+	case Resume:
+		dst = appendU64(dst, v.DeviceID)
+		dst = appendU64(dst, v.Token)
+		dst = appendU64(dst, v.Got)
+	case ResumeOK:
+		dst = appendU64(dst, v.Got)
 	case StatsSnapshot:
 		dst = appendU64(dst, v.DeviceID)
 		dst = appendF64(dst, v.EnergyJ)
@@ -156,6 +163,10 @@ func decodeBody(typ Type, body []byte) (Message, error) {
 		m = dec
 	case TypeAck:
 		m = Ack{Seq: d.u64()}
+	case TypeResume:
+		m = Resume{DeviceID: d.u64(), Token: d.u64(), Got: d.u64()}
+	case TypeResumeOK:
+		m = ResumeOK{Got: d.u64()}
 	case TypeStatsSnapshot:
 		m = StatsSnapshot{
 			DeviceID:       d.u64(),
@@ -281,6 +292,31 @@ func appendString(dst []byte, s string) ([]byte, error) {
 	return append(dst, s...), nil
 }
 
+// ErrTruncated reports a frame cut off mid-stream: the connection ended
+// (or errored) between a frame's first byte and its last. Errors returned
+// by Reader.Next for torn frames match it via errors.Is, and also match
+// io.ErrUnexpectedEOF so io.ReadFull-style callers keep working. A
+// truncated frame is a transport fault, not a protocol violation — a
+// resuming client replays it in full on the next connection.
+var ErrTruncated = errors.New("wire: truncated frame")
+
+// truncErr is the concrete truncation error: where in the frame the
+// stream ended, matching both ErrTruncated and io.ErrUnexpectedEOF.
+type truncErr struct {
+	section string // "header" or "body"
+	cause   error
+}
+
+func (e *truncErr) Error() string {
+	return fmt.Sprintf("wire: truncated frame %s: %v", e.section, e.cause)
+}
+
+func (e *truncErr) Is(target error) bool {
+	return target == ErrTruncated || target == io.ErrUnexpectedEOF
+}
+
+func (e *truncErr) Unwrap() error { return e.cause }
+
 // Reader decodes a frame stream from an io.Reader, reusing one body
 // buffer across frames.
 type Reader struct {
@@ -295,10 +331,15 @@ func NewReader(r io.Reader) *Reader {
 }
 
 // Next reads and decodes the next frame. It returns io.EOF only on a
-// clean frame boundary; a partial frame yields io.ErrUnexpectedEOF.
+// clean frame boundary; a stream that ends (or errors) mid-frame yields an
+// error matching ErrTruncated (and io.ErrUnexpectedEOF) — never a hang and
+// never a misparse of the partial bytes.
 func (fr *Reader) Next() (Message, error) {
-	if _, err := io.ReadFull(fr.r, fr.header[:]); err != nil {
-		return nil, err
+	if n, err := io.ReadFull(fr.r, fr.header[:]); err != nil {
+		if n == 0 && err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, &truncErr{section: "header", cause: err}
 	}
 	payload := binary.BigEndian.Uint32(fr.header[:])
 	if payload < 2 {
@@ -316,16 +357,13 @@ func (fr *Reader) Next() (Message, error) {
 	}
 	fr.body = fr.body[:bodyLen]
 	if _, err := io.ReadFull(fr.r, fr.body); err != nil {
-		if err == io.EOF {
-			err = io.ErrUnexpectedEOF
-		}
-		return nil, err
+		return nil, &truncErr{section: "body", cause: err}
 	}
 	return decodeBody(Type(fr.header[5]), fr.body)
 }
 
 // Writer encodes frames onto an io.Writer, reusing one frame buffer, so a
-// frame costs one Write call and no steady-state allocation.
+// frame normally costs one Write call and no steady-state allocation.
 type Writer struct {
 	w   io.Writer
 	buf []byte
@@ -336,13 +374,26 @@ func NewWriter(w io.Writer) *Writer {
 	return &Writer{w: w}
 }
 
-// Write encodes m and writes the frame.
+// Write encodes m and writes the frame. Short writes without an error —
+// a conn that accepts one byte at a time, a transport that fragments —
+// are retried until the frame is fully delivered, so the byte stream
+// stays canonical regardless of how the underlying writer chunks; a short
+// write with no progress at all is reported as io.ErrShortWrite.
 func (fw *Writer) Write(m Message) error {
 	b, err := Append(fw.buf[:0], m)
 	if err != nil {
 		return err
 	}
 	fw.buf = b
-	_, err = fw.w.Write(b)
-	return err
+	for len(b) > 0 {
+		n, err := fw.w.Write(b)
+		if err != nil {
+			return err
+		}
+		if n <= 0 {
+			return io.ErrShortWrite
+		}
+		b = b[n:]
+	}
+	return nil
 }

@@ -32,6 +32,30 @@
 //  5. server → remaining Decision frames, then StatsSnapshot, then
 //     Ack{seq}; the session is over
 //
+// # Sequence numbers and resume
+//
+// Both directions carry implicit sequence numbers: TCP delivers frames in
+// order, so the n-th session frame a side sends has sequence n (counted
+// from 1). Client session frames are the event frames plus the finish Ack;
+// server session frames are Decisions, the StatsSnapshot and the final Ack.
+// Handshake frames (Hello, Resume, the admission Ack{0} and ResumeOK) are
+// control frames and are not numbered.
+//
+// When a connection dies mid-session, the client may reconnect and open
+// the replacement connection with a Resume instead of a Hello:
+//
+//  1. client → Resume{device, token, got}   got = server session frames the
+//     client has already received
+//  2. server → ResumeOK{got}                got = client session frames the
+//     server has already consumed
+//  3. server → retained session frames with sequence > Resume.Got, then the
+//     session continues where it left off; the client re-sends its own
+//     session frames from sequence ResumeOK.Got+1
+//
+// Token authenticates the re-attach: it is SessionToken of the session's
+// Hello, a pure function of the session parameters that both ends compute
+// independently (DESIGN.md §11).
+//
 // The decision/metrics stream is a pure function of the inbound frame
 // stream: the codec and the session engine never read the wall clock or an
 // unseeded random source (DESIGN.md §10).
@@ -62,6 +86,8 @@ const (
 	TypeDecision
 	TypeAck
 	TypeStatsSnapshot
+	TypeResume
+	TypeResumeOK
 )
 
 // String returns the type's protocol name.
@@ -79,6 +105,10 @@ func (t Type) String() string {
 		return "ack"
 	case TypeStatsSnapshot:
 		return "stats_snapshot"
+	case TypeResume:
+		return "resume"
+	case TypeResumeOK:
+		return "resume_ok"
 	default:
 		return "invalid"
 	}
@@ -201,3 +231,59 @@ type StatsSnapshot struct {
 
 // MsgType implements Message.
 func (StatsSnapshot) MsgType() Type { return TypeStatsSnapshot }
+
+// Resume reopens a cut session on a replacement connection instead of a
+// Hello. The server looks the session up by (DeviceID, Token), prunes its
+// retained outbound frames to those with sequence > Got, and answers with
+// a ResumeOK carrying its own received count; an unknown or expired
+// session is a protocol error and the client must fall back to a fresh
+// Hello replay.
+type Resume struct {
+	// DeviceID identifies the session being resumed.
+	DeviceID uint64
+	// Token is SessionToken of the session's Hello; a mismatch rejects the
+	// resume so a seed collision cannot splice two devices' sessions.
+	Token uint64
+	// Got counts the server session frames the client has already
+	// received: the server suppresses or replays accordingly, so no frame
+	// is lost and none is delivered twice.
+	Got uint64
+}
+
+// MsgType implements Message.
+func (Resume) MsgType() Type { return TypeResume }
+
+// ResumeOK admits a Resume: the server has re-attached the session and
+// will replay its retained frames. The client re-sends its own session
+// frames from sequence Got+1.
+type ResumeOK struct {
+	// Got counts the client session frames the server consumed before the
+	// cut.
+	Got uint64
+}
+
+// MsgType implements Message.
+func (ResumeOK) MsgType() Type { return TypeResumeOK }
+
+// SessionToken derives the resume token of a session from its Hello: an
+// FNV-1a hash of the Hello's canonical frame encoding. Both ends compute
+// it independently — no token ever crosses the wire before the Resume that
+// presents it — and it is a pure function of the session parameters, so
+// reconnect behaviour stays reproducible from the run's seeds.
+func SessionToken(h Hello) uint64 {
+	b, err := Encode(h)
+	if err != nil {
+		// Hello has no variable-length fields; encoding is total.
+		return 0
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	t := uint64(offset64)
+	for _, c := range b {
+		t ^= uint64(c)
+		t *= prime64
+	}
+	return t
+}

@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"encoding/hex"
+	"errors"
 	"io"
 	"reflect"
 	"strings"
@@ -44,6 +45,16 @@ var goldenFrames = []struct {
 		name: "ack",
 		msg:  Ack{Seq: 9},
 		hex:  "0000000a01050000000000000009",
+	},
+	{
+		name: "resume",
+		msg:  Resume{DeviceID: 3, Token: 42, Got: 5},
+		hex:  "0000001a01070000000000000003000000000000002a0000000000000005",
+	},
+	{
+		name: "resume_ok",
+		msg:  ResumeOK{Got: 7},
+		hex:  "0000000a01080000000000000007",
 	},
 	{
 		name: "stats_snapshot",
@@ -89,6 +100,8 @@ func roundTripMessages() []Message {
 		Decision{},
 		Decision{Slot: time.Hour, Flush: false, Entries: []DecisionEntry{{1, 2}, {3, 4}, {5, 6}}},
 		Ack{},
+		Resume{DeviceID: ^uint64(0), Token: ^uint64(0), Got: 1<<64 - 2},
+		ResumeOK{},
 		StatsSnapshot{EnergyJ: -0.0, AvgDelayS: 1e300},
 	}
 }
@@ -227,14 +240,95 @@ func TestReaderWriter(t *testing.T) {
 	}
 }
 
+// TestReaderPartialFrame holds truncation to its typed contract: every
+// strict prefix of every golden frame must surface an error matching both
+// ErrTruncated and io.ErrUnexpectedEOF — never a hang, never a misparse —
+// while the zero-length prefix is a clean io.EOF boundary.
 func TestReaderPartialFrame(t *testing.T) {
-	b, err := Encode(Ack{Seq: 1})
-	if err != nil {
-		t.Fatal(err)
+	for _, tc := range goldenFrames {
+		b, err := Encode(tc.msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 0; cut < len(b); cut++ {
+			r := NewReader(bytes.NewReader(b[:cut]))
+			m, err := r.Next()
+			if cut == 0 {
+				if err != io.EOF {
+					t.Errorf("%s cut at 0: got %v, want io.EOF", tc.name, err)
+				}
+				continue
+			}
+			if m != nil || err == nil {
+				t.Fatalf("%s cut at %d: decoded %#v from a torn frame", tc.name, cut, m)
+			}
+			if !errors.Is(err, ErrTruncated) {
+				t.Errorf("%s cut at %d: %v does not match ErrTruncated", tc.name, cut, err)
+			}
+			if !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Errorf("%s cut at %d: %v does not match io.ErrUnexpectedEOF", tc.name, cut, err)
+			}
+		}
 	}
-	r := NewReader(bytes.NewReader(b[:len(b)-2]))
-	if _, err := r.Next(); err != io.ErrUnexpectedEOF {
-		t.Errorf("partial frame: got %v, want io.ErrUnexpectedEOF", err)
+}
+
+// oneByteWriter delivers at most one byte per Write call — the worst legal
+// chunking a transport can impose — and records everything it accepted.
+type oneByteWriter struct {
+	bytes.Buffer
+}
+
+func (w *oneByteWriter) Write(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	return w.Buffer.Write(p[:1])
+}
+
+// TestWriterShortWrites drives the frame writer over a conn that writes
+// one byte at a time: the emitted stream must still be the canonical
+// golden encoding of every frame, byte for byte.
+func TestWriterShortWrites(t *testing.T) {
+	var sink oneByteWriter
+	w := NewWriter(&sink)
+	want := ""
+	for _, tc := range goldenFrames {
+		if err := w.Write(tc.msg); err != nil {
+			t.Fatalf("Write(%s) over 1-byte conn: %v", tc.name, err)
+		}
+		want += tc.hex
+	}
+	if got := hex.EncodeToString(sink.Bytes()); got != want {
+		t.Errorf("short-write stream drifted from canonical frames:\n got %s\nwant %s", got, want)
+	}
+}
+
+// stuckWriter reports zero progress without an error, which would
+// otherwise spin the writer's retry loop forever.
+type stuckWriter struct{}
+
+func (stuckWriter) Write(p []byte) (int, error) { return 0, nil }
+
+func TestWriterZeroProgress(t *testing.T) {
+	if err := NewWriter(stuckWriter{}).Write(Ack{Seq: 1}); err != io.ErrShortWrite {
+		t.Errorf("zero-progress write: got %v, want io.ErrShortWrite", err)
+	}
+}
+
+func TestSessionToken(t *testing.T) {
+	a := Hello{DeviceID: 1, Seed: 42, Theta: 2.5, K: 3, Horizon: time.Minute}
+	if SessionToken(a) != SessionToken(a) {
+		t.Error("token is not a pure function of the hello")
+	}
+	b := a
+	b.Seed = 43
+	if SessionToken(a) == SessionToken(b) {
+		t.Error("token ignores the channel seed")
+	}
+	c := a
+	c.DeviceID = 2
+	if SessionToken(a) == SessionToken(c) {
+		t.Error("token ignores the device identity")
 	}
 }
 

@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz lint vet determinism bench-json bench-server fleet-smoke serve load chaos clean
+.PHONY: all build test race fuzz lint vet determinism bench-json bench-server fleet-smoke serve load chaos scenario clean
 
 all: build test lint
 
@@ -20,6 +20,7 @@ race:
 fuzz:
 	$(GO) test ./internal/tracefile -run Fuzz
 	$(GO) test ./internal/wire -run Fuzz
+	$(GO) test ./internal/scenario -run Fuzz
 
 vet:
 	$(GO) vet ./...
@@ -82,6 +83,21 @@ chaos:
 	$(GO) test -race ./internal/server -run 'Resume|Retain|Shutdown|Drain|Protocol' -count=1
 	$(GO) run ./cmd/etrain-load -devices 200 -conns 16 -horizon 2m -faults 0.1
 
+# Scenario engine checks, same as the CI scenario job: the declarative
+# scenario suite under the race detector (the golden corpus is pinned
+# byte-for-byte at two worker counts), the corpus validated through the
+# CLI, the chaos-soak scenario byte-compared across worker counts, and
+# the broken-Θ negative — overriding Θ to 0 must trip the saving-floor
+# assertion and flip the exit code.
+scenario:
+	$(GO) test -race ./internal/scenario -count=1
+	$(GO) build -o /tmp/etrain-sim ./cmd/etrain-sim
+	/tmp/etrain-sim validate scenarios/*.yaml
+	/tmp/etrain-sim run -workers 1 scenarios/fault-burst.yaml > /tmp/etrain-scenario-w1.txt
+	/tmp/etrain-sim run -workers 8 scenarios/fault-burst.yaml > /tmp/etrain-scenario-w8.txt
+	diff -u /tmp/etrain-scenario-w1.txt /tmp/etrain-scenario-w8.txt
+	! /tmp/etrain-sim run -theta 0 scenarios/clean-baseline.yaml >/dev/null
+
 # Service-layer benchmark snapshot (BenchmarkServerThroughput +
 # BenchmarkWireCodec) through cmd/etrain-benchjson into BENCH_server.json,
 # with a fault-injected load soak folded in under the "load" key so the
@@ -107,3 +123,4 @@ clean:
 	rm -f /tmp/etrain-experiments /tmp/etrain-seq.txt /tmp/etrain-par.txt
 	rm -f /tmp/etrain-fleet /tmp/etrain-fleet-w1.txt /tmp/etrain-fleet-w8.txt
 	rm -f /tmp/etrain-load-report.json
+	rm -f /tmp/etrain-sim /tmp/etrain-scenario-w1.txt /tmp/etrain-scenario-w8.txt

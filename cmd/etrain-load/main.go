@@ -113,12 +113,18 @@ type report struct {
 	LatencyP90Ms  float64 `json:"latency_p90_ms"`
 	LatencyP99Ms  float64 `json:"latency_p99_ms"`
 
-	Reconnects       int     `json:"reconnects"`
-	Resumes          int     `json:"resumes"`
-	Replays          int     `json:"replays"`
-	DegradedSessions int     `json:"degraded_sessions"`
-	DegradedEvents   int     `json:"degraded_events"`
-	DegradedMs       float64 `json:"degraded_ms"`
+	Reconnects       int `json:"reconnects"`
+	Resumes          int `json:"resumes"`
+	Replays          int `json:"replays"`
+	DegradedSessions int `json:"degraded_sessions"`
+	// DegradedUnreconciled counts degraded sessions whose final frames
+	// were produced locally and never confirmed by a server. Counting
+	// only DegradedSessions understates chaos damage: a session that
+	// degraded for one stint and then reconciled is a different outcome
+	// from one the server never saw finish.
+	DegradedUnreconciled int     `json:"degraded_unreconciled"`
+	DegradedEvents       int     `json:"degraded_events"`
+	DegradedMs           float64 `json:"degraded_ms"`
 
 	InjectedDrops       uint64 `json:"injected_drops,omitempty"`
 	InjectedResets      uint64 `json:"injected_resets,omitempty"`
@@ -226,14 +232,7 @@ func run(cfg config) error {
 		ms := float64(elapsed) / float64(time.Millisecond)
 		latency.Add(ms)
 		sketch.Add(ms)
-		rep.Reconnects += out.Reconnects
-		rep.Resumes += out.Resumes
-		rep.Replays += out.Replays
-		rep.DegradedEvents += out.DegradedEvents
-		rep.DegradedMs += float64(out.DegradedTime) / float64(time.Millisecond)
-		if out.Degraded {
-			rep.DegradedSessions++
-		}
+		rep.absorb(out)
 		return nil
 	})
 	//lint:ignore notime load-harness boundary: throughput and latency are wall-clock measurements of the service; the sessions themselves are deterministic
@@ -275,8 +274,8 @@ func run(cfg config) error {
 	if cfg.faults > 0 {
 		fmt.Printf("chaos        drops %d  resets %d  truncations %d  refused dials %d\n",
 			fs.Drops, fs.Resets, fs.Truncations, fs.DialFails)
-		fmt.Printf("healing      reconnects %d  resumes %d  replays %d  degraded %d sessions / %d events / %.0f ms\n",
-			rep.Reconnects, rep.Resumes, rep.Replays, rep.DegradedSessions, rep.DegradedEvents, rep.DegradedMs)
+		fmt.Printf("healing      reconnects %d  resumes %d  replays %d  degraded %d sessions (%d unreconciled) / %d events / %.0f ms\n",
+			rep.Reconnects, rep.Resumes, rep.Replays, rep.DegradedSessions, rep.DegradedUnreconciled, rep.DegradedEvents, rep.DegradedMs)
 	}
 	if srv != nil {
 		s := srv.Stats()
@@ -299,6 +298,22 @@ func run(cfg config) error {
 		return fmt.Errorf("%d of %d sessions failed", rep.Failed, cfg.devices)
 	}
 	return nil
+}
+
+// absorb folds one successful session's healing counters into the
+// report. Callers hold the report lock.
+func (r *report) absorb(out *client.Outcome) {
+	r.Reconnects += out.Reconnects
+	r.Resumes += out.Resumes
+	r.Replays += out.Replays
+	r.DegradedEvents += out.DegradedEvents
+	r.DegradedMs += float64(out.DegradedTime) / float64(time.Millisecond)
+	if out.Degraded {
+		r.DegradedSessions++
+	}
+	if out.CompletedLocally {
+		r.DegradedUnreconciled++
+	}
 }
 
 // chunkFor fragments traffic only when chaos is on: short writes are part

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"etrain/internal/client"
+)
+
+// TestAbsorbCountsUnreconciledSessions guards the healing fold: a
+// degraded session that finished locally and never reconciled must be
+// counted separately from one that degraded and then reconciled —
+// the report used to conflate the two.
+func TestAbsorbCountsUnreconciledSessions(t *testing.T) {
+	var r report
+	r.absorb(&client.Outcome{
+		Degraded: true, CompletedLocally: true,
+		Reconnects: 3, Resumes: 2, Replays: 1,
+		DegradedEvents: 40, DegradedTime: 2 * time.Millisecond,
+	})
+	r.absorb(&client.Outcome{Degraded: true, Reconnects: 1, Resumes: 1})
+	r.absorb(&client.Outcome{})
+
+	if r.DegradedSessions != 2 {
+		t.Errorf("DegradedSessions = %d, want 2", r.DegradedSessions)
+	}
+	if r.DegradedUnreconciled != 1 {
+		t.Errorf("DegradedUnreconciled = %d, want 1", r.DegradedUnreconciled)
+	}
+	if r.Reconnects != 4 || r.Resumes != 3 || r.Replays != 1 {
+		t.Errorf("healing counters = %d/%d/%d, want 4/3/1", r.Reconnects, r.Resumes, r.Replays)
+	}
+	if r.DegradedEvents != 40 || r.DegradedMs != 2 {
+		t.Errorf("degraded events/ms = %d/%.0f, want 40/2", r.DegradedEvents, r.DegradedMs)
+	}
+}
+
+// TestReportJSONCarriesUnreconciled pins the field name the benchmark
+// fold reads.
+func TestReportJSONCarriesUnreconciled(t *testing.T) {
+	b, err := json.Marshal(report{DegradedUnreconciled: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"degraded_unreconciled":7`) {
+		t.Errorf("report JSON missing degraded_unreconciled: %s", b)
+	}
+}

@@ -7,6 +7,12 @@
 //	etrain-sim -strategy etrain -theta 2
 //	etrain-sim -strategy etime -v 8 -lambda 0.12
 //	etrain-sim -strategy etrain -sweep 0,0.5,1,2,4 -parallel 4
+//
+// Scenario subcommands (see DESIGN.md §12):
+//
+//	etrain-sim run scenarios/fault-burst.yaml
+//	etrain-sim validate scenarios/*.yaml
+//	etrain-sim gen -seed 7 -engine loopback
 package main
 
 import (
@@ -23,6 +29,16 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "run", "validate", "gen":
+			if err := scenarioMain(os.Args[1], os.Args[2:], os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "etrain-sim:", err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "etrain-sim:", err)
 		os.Exit(1)

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"etrain/internal/scenario"
+)
+
+// scenarioMain dispatches the scenario subcommands:
+//
+//	etrain-sim run <file>       execute a scenario and print its report
+//	etrain-sim validate <file>  parse + validate scenario files
+//	etrain-sim gen              synthesize a stress scenario
+func scenarioMain(cmd string, args []string, stdout io.Writer) error {
+	switch cmd {
+	case "run":
+		return cmdRun(args, stdout)
+	case "validate":
+		return cmdValidate(args, stdout)
+	case "gen":
+		return cmdGen(args, stdout)
+	default:
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}
+
+// errAssertFailed marks a run whose assertions failed: the report still
+// printed, but the process must exit non-zero.
+type errAssertFailed struct{ name string }
+
+func (e errAssertFailed) Error() string {
+	return fmt.Sprintf("scenario %s: assertions failed", e.name)
+}
+
+func cmdRun(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	workers := fs.Int("workers", -1, "device workers (-1 = one per CPU, 0/1 = sequential); never changes the report")
+	jsonOut := fs.Bool("json", false, "emit the report as JSON instead of text")
+	theta := fs.Float64("theta", -1, "override the scenario's Θ (≥ 0; negative = use the scenario's)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: etrain-sim run [flags] <scenario-file>")
+	}
+	path := fs.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	s, err := scenario.Parse(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if *theta >= 0 {
+		t := *theta
+		s.Theta = &t
+	}
+	rep, err := scenario.Run(s, scenario.Options{Workers: *workers})
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if *jsonOut {
+		b, err := rep.EncodeJSON()
+		if err != nil {
+			return err
+		}
+		if _, err := stdout.Write(b); err != nil {
+			return err
+		}
+	} else if err := rep.Fprint(stdout); err != nil {
+		return err
+	}
+	if !rep.Pass {
+		return errAssertFailed{name: rep.Scenario}
+	}
+	return nil
+}
+
+func cmdValidate(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("validate", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("usage: etrain-sim validate <scenario-file>...")
+	}
+	failed := 0
+	for _, path := range fs.Args() {
+		data, err := os.ReadFile(path)
+		if err == nil {
+			var s *scenario.Scenario
+			if s, err = scenario.Parse(data); err == nil {
+				err = s.Validate()
+				if err == nil {
+					var hash string
+					if hash, err = s.ConfigHash(); err == nil {
+						fmt.Fprintf(stdout, "%s: ok name=%s devices=%d events=%d hash=%s\n",
+							path, s.Name, s.Fleet.Devices, len(s.Timeline), hash)
+						continue
+					}
+				}
+			}
+		}
+		failed++
+		fmt.Fprintf(stdout, "%s: INVALID: %v\n", path, err)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d scenario files invalid", failed, len(fs.Args()))
+	}
+	return nil
+}
+
+func cmdGen(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "generator seed")
+	devices := fs.Int("devices", 16, "fleet size")
+	events := fs.Int("events", 8, "timeline length")
+	engine := fs.String("engine", "loopback", "direct | loopback")
+	doRun := fs.Bool("run", false, "execute the generated scenario instead of printing it")
+	workers := fs.Int("workers", -1, "device workers for -run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("usage: etrain-sim gen [flags]")
+	}
+	s, err := scenario.Generate(scenario.GenConfig{
+		Seed: *seed, Devices: *devices, Events: *events, Engine: *engine,
+	})
+	if err != nil {
+		return err
+	}
+	if !*doRun {
+		b, err := s.EncodeJSON()
+		if err != nil {
+			return err
+		}
+		_, err = stdout.Write(b)
+		return err
+	}
+	rep, err := scenario.Run(s, scenario.Options{Workers: *workers})
+	if err != nil {
+		return err
+	}
+	if err := rep.Fprint(stdout); err != nil {
+		return err
+	}
+	if !rep.Pass {
+		return errAssertFailed{name: rep.Scenario}
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"etrain/internal/scenario"
+)
+
+// testScenario mirrors the measured Θ separation the broken-Θ negative
+// leans on: healthy saving ≈ 0.32, Θ=0 saving ≈ 0.14, floor 0.2.
+const testScenario = `name: cli-small
+seed: 21
+horizon: 1h
+fleet:
+  devices: 6
+assert:
+  - metric: saving_mean
+    min: 0.2
+`
+
+func writeScenario(t *testing.T, doc string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "s.yaml")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestScenarioMainUnknownSubcommand(t *testing.T) {
+	if err := scenarioMain("explode", nil, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+}
+
+func TestCmdRunPassesAndReportsText(t *testing.T) {
+	path := writeScenario(t, testScenario)
+	var out bytes.Buffer
+	if err := cmdRun([]string{"-workers", "2", path}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "eTrain scenario report: cli-small") {
+		t.Errorf("missing report header:\n%s", text)
+	}
+	if !strings.Contains(text, "\nresult PASS\n") {
+		t.Errorf("missing PASS verdict:\n%s", text)
+	}
+}
+
+// TestCmdRunBrokenThetaExitsNonZero is the CLI face of the negative
+// test: -theta 0 breaks the scheduler, the saving_mean floor trips,
+// and cmdRun returns errAssertFailed so main exits non-zero — while
+// still printing the full report.
+func TestCmdRunBrokenThetaExitsNonZero(t *testing.T) {
+	path := writeScenario(t, testScenario)
+	var out bytes.Buffer
+	err := cmdRun([]string{"-theta", "0", path}, &out)
+	if err == nil {
+		t.Fatalf("theta=0 run exited clean:\n%s", out.String())
+	}
+	var af errAssertFailed
+	if !errors.As(err, &af) {
+		t.Fatalf("error %v is not errAssertFailed", err)
+	}
+	if !strings.Contains(out.String(), "assert FAIL saving_mean") {
+		t.Errorf("report does not show the failing assertion:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "\nresult FAIL\n") {
+		t.Errorf("missing FAIL verdict:\n%s", out.String())
+	}
+}
+
+func TestCmdRunJSONOutput(t *testing.T) {
+	path := writeScenario(t, testScenario)
+	var out bytes.Buffer
+	if err := cmdRun([]string{"-json", path}, &out); err != nil {
+		t.Fatalf("run -json: %v", err)
+	}
+	var rep struct {
+		Scenario string `json:"scenario"`
+		Devices  int    `json:"devices"`
+		Pass     bool   `json:"pass"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, out.String())
+	}
+	if rep.Scenario != "cli-small" || rep.Devices != 6 || !rep.Pass {
+		t.Errorf("report fields wrong: %+v", rep)
+	}
+}
+
+// TestCmdRunWorkerInvariance pins the CLI contract that -workers never
+// changes the printed bytes.
+func TestCmdRunWorkerInvariance(t *testing.T) {
+	path := writeScenario(t, testScenario)
+	var seq, par bytes.Buffer
+	if err := cmdRun([]string{"-workers", "1", path}, &seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRun([]string{"-workers", "4", path}, &par); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+		t.Errorf("report differs between -workers 1 and 4:\n%s\n---\n%s", seq.String(), par.String())
+	}
+}
+
+func TestCmdValidate(t *testing.T) {
+	good := writeScenario(t, testScenario)
+	var out bytes.Buffer
+	if err := cmdValidate([]string{good}, &out); err != nil {
+		t.Fatalf("validate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "ok name=cli-small devices=6") {
+		t.Errorf("validate output: %s", out.String())
+	}
+
+	bad := writeScenario(t, "name: broken\n") // no horizon, no fleet
+	out.Reset()
+	if err := cmdValidate([]string{good, bad}, &out); err == nil {
+		t.Fatalf("invalid file validated:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "INVALID") {
+		t.Errorf("validate output misses INVALID: %s", out.String())
+	}
+
+	if err := cmdValidate(nil, &out); err == nil {
+		t.Error("validate with no files accepted")
+	}
+}
+
+// TestCmdValidateCorpus keeps the checked-in corpus valid through the
+// CLI path CI uses.
+func TestCmdValidateCorpus(t *testing.T) {
+	matches, err := filepath.Glob("../../scenarios/*.yaml")
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no corpus: %v", err)
+	}
+	var out bytes.Buffer
+	if err := cmdValidate(matches, &out); err != nil {
+		t.Fatalf("corpus invalid: %v\n%s", err, out.String())
+	}
+}
+
+func TestCmdGen(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := cmdGen([]string{"-seed", "5", "-devices", "4", "-events", "3"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdGen([]string{"-seed", "5", "-devices", "4", "-events", "3"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("gen output not deterministic")
+	}
+	s, err := scenario.Parse(a.Bytes())
+	if err != nil {
+		t.Fatalf("gen output does not parse: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("gen output invalid: %v", err)
+	}
+	if s.Fleet.Devices != 4 || len(s.Timeline) != 3 {
+		t.Errorf("gen ignored flags: %+v", s)
+	}
+	if err := cmdGen([]string{"-engine", "quantum"}, &a); err == nil {
+		t.Error("unknown engine accepted")
+	}
+	if err := cmdGen([]string{"trailing"}, &a); err == nil {
+		t.Error("positional arg accepted")
+	}
+}

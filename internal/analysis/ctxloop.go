@@ -10,11 +10,12 @@ import (
 // simulation runner that fans runs across it, the fleet engine that
 // shards populations over the pool, the service layer whose accept
 // loop and session reader/processor pairs spawn goroutines per
-// connection, and the resilience layer — the fault injector and the
+// connection, the resilience layer — the fault injector and the
 // self-healing client, whose per-connection reader goroutines must join
-// before an exchange returns. Stray goroutines here are exactly the ones
-// that can outlive a sweep (or a drained server) and race its result
-// slots.
+// before an exchange returns — and the scenario engine, whose loopback
+// rig spawns a ServeConn goroutine per dial that the per-device join
+// must collect. Stray goroutines here are exactly the ones that can
+// outlive a sweep (or a drained server) and race its result slots.
 var fanOutPackages = []string{
 	"etrain/internal/parallel",
 	"etrain/internal/sim",
@@ -23,6 +24,7 @@ var fanOutPackages = []string{
 	"etrain/internal/server",
 	"etrain/internal/faultnet",
 	"etrain/internal/client",
+	"etrain/internal/scenario",
 }
 
 // CtxLoop checks goroutine hygiene in the fan-out layers:

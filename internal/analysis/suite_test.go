@@ -46,3 +46,13 @@ func TestResiliencePatrol(t *testing.T) {
 		[]*analysis.Analyzer{analysis.CtxLoop, analysis.NoTime, analysis.NoRand},
 		"etrain/internal/faultnet", "etrain/internal/client")
 }
+
+// TestScenarioPatrol holds the scenario engine to the same bar: its
+// report must be a pure function of the document, so the fixture
+// carries wall-clock, PRNG and goroutine-hygiene violations for the
+// combined patrol to flag.
+func TestScenarioPatrol(t *testing.T) {
+	analysistest.RunAll(t, analysistest.TestData(t),
+		[]*analysis.Analyzer{analysis.CtxLoop, analysis.NoTime, analysis.NoRand},
+		"etrain/internal/scenario")
+}

@@ -1,0 +1,56 @@
+// Package scenario stands in for the real etrain/internal/scenario:
+// a scenario report is a pure function of the document, so the engine
+// faces the full determinism patrol — no wall clock, no direct rand,
+// and goroutine hygiene for the loopback rig's per-dial ServeConn
+// goroutines.
+package scenario
+
+import (
+	"math/rand" // want `import of math/rand outside internal/randx; derive a deterministic stream with randx.New/randx.Derive instead`
+	"time"
+)
+
+// stampReport timestamps the report from the wall clock: two runs of
+// the same scenario would render different bytes.
+func stampReport() time.Time {
+	return time.Now() // want `time.Now reads the wall clock outside the real-time boundary`
+}
+
+// jitterTimeline draws an event offset from the global PRNG instead of
+// a seed-derived randx stream.
+func jitterTimeline(horizon time.Duration) time.Duration {
+	return time.Duration(rand.Int63n(int64(horizon)))
+}
+
+// throttleDevices paces device runs with a real sleep, coupling the
+// engine's wall time to the fleet size.
+func throttleDevices(gap time.Duration) {
+	time.Sleep(gap) // want `time.Sleep reads the wall clock outside the real-time boundary`
+}
+
+// serveAsync is the forbidden rig shape: one ServeConn goroutine per
+// device with nothing joining it — a leaked server goroutine can hold
+// its pipe past rig close and race the next device's dial.
+func serveAsync(serves []func()) {
+	for i := range serves {
+		go func() { // want `goroutine has no join or cancellation path`
+			serves[i]() // want `goroutine closure captures loop variable i`
+		}()
+	}
+}
+
+// serveJoined is the sanctioned shape the real rig uses: the serve fn
+// is passed as an argument and a done channel ties it back to the
+// device's join.
+func serveJoined(serves []func()) {
+	done := make(chan struct{}, len(serves))
+	for _, serve := range serves {
+		go func(serve func()) {
+			serve()
+			done <- struct{}{}
+		}(serve)
+	}
+	for range serves {
+		<-done
+	}
+}

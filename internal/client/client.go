@@ -85,6 +85,13 @@ type Outcome struct {
 	DegradedEvents int           // events first scheduled locally while degraded
 	Degraded       bool          // DegradedStints > 0
 	DegradedTime   time.Duration // wall time degraded (needs Clock)
+	// CompletedLocally reports that the session's final frames were
+	// produced by a degraded stint, not a server: the client finished
+	// locally and never reconciled with a live connection. Such sessions
+	// are correct (determinism makes the local stream authoritative) but
+	// a load report that counts only Degraded understates how many
+	// sessions ended without the server ever confirming them.
+	CompletedLocally bool
 }
 
 // state is one run's progress: the outbound journal, the authoritative
@@ -103,6 +110,7 @@ type state struct {
 	done bool
 
 	admitted    bool // a server accepted our Hello at least once
+	localFinish bool // a degraded stint produced the final frames
 	canResume   bool // the parked session is presumed resumable
 	resumeFails int  // consecutive failed Resume handshakes
 	// maxApplied is the highest journal frame known applied by the
@@ -398,6 +406,7 @@ func (st *state) stint() (net.Conn, error) {
 		}
 		if rep.Done() {
 			st.done = true
+			st.localFinish = true
 			return nil, nil
 		}
 		countdown--
@@ -425,6 +434,8 @@ func (st *state) outcome() (*Outcome, error) {
 		DegradedEvents: st.degradedEvents,
 		Degraded:       st.stints > 0,
 		DegradedTime:   st.degradedTime,
+
+		CompletedLocally: st.localFinish,
 	}
 	sawStats := false
 	for i, m := range st.out {

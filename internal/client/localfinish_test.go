@@ -1,0 +1,62 @@
+package client
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+
+	"etrain/internal/server"
+)
+
+// TestBlackoutCompletesLocally runs against a transport that never
+// connects: the client must degrade, finish the session locally with
+// the baseline-identical outcome, and flag that the server never
+// confirmed it.
+func TestBlackoutCompletesLocally(t *testing.T) {
+	sess := testSession(t, 1)
+	want := baseline(t, sess)
+	out, err := Run(Config{
+		Dial:        func() (net.Conn, error) { return nil, fmt.Errorf("network unreachable") },
+		MaxAttempts: 2,
+	}, sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEquivalent(t, out, want)
+	if !out.Degraded {
+		t.Error("blackout session not marked degraded")
+	}
+	if !out.CompletedLocally {
+		t.Error("blackout session finished locally but CompletedLocally = false")
+	}
+}
+
+// TestReconciledStintIsNotLocalFinish degrades the client with a brief
+// outage and then heals the transport: the session must reconcile with
+// the live server, so Degraded is true but CompletedLocally is not —
+// the distinction the load report's unreconciled counter rests on.
+func TestReconciledStintIsNotLocalFinish(t *testing.T) {
+	sess := testSession(t, 2)
+	want := baseline(t, sess)
+	srv := server.New(server.Config{})
+	inner := loopbackDialer(srv, nil)
+	var dials atomic.Int64
+	dial := func() (net.Conn, error) {
+		if dials.Add(1) <= 2 {
+			return nil, fmt.Errorf("connection refused")
+		}
+		return inner()
+	}
+	out, err := Run(Config{Dial: dial, MaxAttempts: 2, RetryEvery: 1}, sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEquivalent(t, out, want)
+	if !out.Degraded {
+		t.Fatal("outage never degraded the client; the test lost its subject")
+	}
+	if out.CompletedLocally {
+		t.Error("session reconciled over a live connection but CompletedLocally = true")
+	}
+}

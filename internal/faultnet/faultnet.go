@@ -49,6 +49,14 @@ type Config struct {
 	Latency time.Duration
 	// Sleep imposes drawn latency. Nil disables waiting entirely.
 	Sleep func(time.Duration)
+	// ReadFaultsOnly confines Drop/Reset/Truncate to the read direction:
+	// writes pass through untouched (Truncate then tears read buffers
+	// instead of write buffers). A single-goroutine reader makes its own
+	// operation sequence — and therefore the whole fault schedule —
+	// independent of how its peer's writes interleave, which is what
+	// lets a chaos run pin not just outcomes but healing counters
+	// byte-for-byte at any worker count (DESIGN.md §12).
+	ReadFaultsOnly bool
 }
 
 // Stats counts injected faults across all connections of an Injector.
@@ -214,12 +222,13 @@ func (fs *faultStream) next(forWrite bool, n int) verdict {
 	defer fs.mu.Unlock()
 	var v verdict
 	f := fs.rng.Float64()
+	truncable := forWrite != cfg.ReadFaultsOnly // truncation tears the faulted direction
 	switch {
 	case f < cfg.Drop:
 		v.drop = true
 	case f < cfg.Drop+cfg.Reset:
 		v.reset = true
-	case forWrite && f < cfg.Drop+cfg.Reset+cfg.Truncate:
+	case truncable && f < cfg.Drop+cfg.Reset+cfg.Truncate:
 		v.truncate = true
 	}
 	v.chunk = n
@@ -272,12 +281,19 @@ func (fc *faultConn) Read(p []byte) (int, error) {
 		fc.in.resets.Add(1)
 		fc.kill()
 		return 0, ErrReset
+	case v.truncate:
+		// Deliver a prefix of this read, then die: the caller's decoder
+		// sees a torn frame followed by a dead transport.
+		fc.in.truncations.Add(1)
+		n, _ := fc.Conn.Read(p[:v.chunk])
+		fc.kill()
+		return n, ErrReset
 	}
 	return fc.Conn.Read(p[:v.chunk])
 }
 
 func (fc *faultConn) Write(p []byte) (int, error) {
-	if len(p) == 0 {
+	if len(p) == 0 || fc.in.cfg.ReadFaultsOnly {
 		return fc.Conn.Write(p)
 	}
 	written := 0

@@ -1,0 +1,318 @@
+package scenario
+
+import (
+	"fmt"
+
+	"etrain/internal/stats"
+	"etrain/internal/workload"
+)
+
+// Metric names an assertion can observe. Per-class metrics accept a
+// class scope; transport metrics are fleet-wide (class "all" only) and
+// read 0 under the direct engine, where no transport exists to fail.
+var (
+	classMetrics = []string{
+		"devices",
+		"saving_mean", "saving_p10", "saving_p50", "saving_p90",
+		"saved_j_mean", "saved_j_p50",
+		"energy_with_mean", "energy_without_mean",
+		"delay_mean", "delay_p50", "delay_p90", "delay_p99",
+		"violation_mean",
+	}
+	fleetMetrics = []string{
+		"sessions_failed", "degraded_sessions", "degraded_rate",
+		"unreconciled_sessions", "unreconciled_rate",
+		"decision_loss", "reconnects", "resumes", "replays", "restarts",
+	}
+)
+
+// validateAssertion checks one predicate's metric, scope and bounds.
+func validateAssertion(a Assertion, mix []workload.ClassShare) error {
+	isClass := contains(classMetrics, a.Metric)
+	isFleet := contains(fleetMetrics, a.Metric)
+	if !isClass && !isFleet {
+		return fmt.Errorf("unknown metric %q", a.Metric)
+	}
+	switch {
+	case a.Class == "" || a.Class == "all":
+	case isFleet:
+		return fmt.Errorf("metric %s is fleet-wide; class %q not allowed", a.Metric, a.Class)
+	default:
+		class, err := workload.ParseClass(a.Class)
+		if err != nil {
+			return err
+		}
+		found := false
+		for _, s := range mix {
+			if s.Class == class {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("class %q is not in the fleet mix", a.Class)
+		}
+	}
+	if a.Min == nil && a.Max == nil {
+		return fmt.Errorf("metric %s: at least one of min/max is required", a.Metric)
+	}
+	if bad(a.Min) || bad(a.Max) {
+		return fmt.Errorf("metric %s: min/max must be finite", a.Metric)
+	}
+	if a.Min != nil && a.Max != nil && *a.Min > *a.Max {
+		return fmt.Errorf("metric %s: min %g exceeds max %g", a.Metric, *a.Min, *a.Max)
+	}
+	return nil
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+func bad(v *float64) bool {
+	if v == nil {
+		return false
+	}
+	return *v != *v || *v > 1e308 || *v < -1e308
+}
+
+// classAgg folds per-device outcomes of one class (or the whole fleet)
+// into mergeable moments and quantile sketches.
+type classAgg struct {
+	devices  int
+	withoutJ stats.Moments
+	withJ    stats.Moments
+	savedJ   stats.Moments
+	saving   stats.Moments
+	delay    stats.Moments
+	violate  stats.Moments
+
+	savingSketch *stats.Sketch
+	savedSketch  *stats.Sketch
+	delaySketch  *stats.Sketch
+}
+
+func newClassAgg() (*classAgg, error) {
+	a := &classAgg{}
+	var err error
+	if a.savingSketch, err = stats.NewSketch(stats.DefaultSketchAlpha); err != nil {
+		return nil, err
+	}
+	if a.savedSketch, err = stats.NewSketch(stats.DefaultSketchAlpha); err != nil {
+		return nil, err
+	}
+	if a.delaySketch, err = stats.NewSketch(stats.DefaultSketchAlpha); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// add folds one device outcome.
+func (a *classAgg) add(o *deviceResult) {
+	a.devices++
+	a.withoutJ.Add(o.withoutJ)
+	a.withJ.Add(o.withJ)
+	saved := o.withoutJ - o.withJ
+	a.savedJ.Add(saved)
+	saving := 0.0
+	if o.withoutJ > 0 {
+		saving = saved / o.withoutJ
+	}
+	a.saving.Add(saving)
+	a.delay.Add(o.delayS)
+	a.violate.Add(o.violation)
+	a.savingSketch.Add(saving)
+	a.savedSketch.Add(saved)
+	a.delaySketch.Add(o.delayS)
+}
+
+// transportTally counts the loopback engine's healing outcomes. Under
+// the direct engine it stays zero.
+type transportTally struct {
+	failed       int // sessions that died on a protocol/engine error
+	degraded     int // sessions that fell back to local scheduling
+	unreconciled int // degraded sessions that finished locally, never reconciling
+	decisionLoss int // sessions whose stream diverged from the local replay
+	reconnects   int
+	resumes      int
+	replays      int
+	restarts     int // devices whose connection the server_restart cut killed
+}
+
+// outcomeSet is everything assertions (and the report) observe:
+// per-class and fleet-wide aggregates plus the transport tally.
+type outcomeSet struct {
+	labels  []string // mix-order class labels
+	byClass []*classAgg
+	total   *classAgg
+	tally   transportTally
+	devices int
+}
+
+func newOutcomeSet(mix []workload.ClassShare) (*outcomeSet, error) {
+	set := &outcomeSet{}
+	var err error
+	if set.total, err = newClassAgg(); err != nil {
+		return nil, err
+	}
+	for _, s := range mix {
+		set.labels = append(set.labels, s.Class.String())
+		agg, err := newClassAgg()
+		if err != nil {
+			return nil, err
+		}
+		set.byClass = append(set.byClass, agg)
+	}
+	return set, nil
+}
+
+// add folds one device outcome in index order.
+func (set *outcomeSet) add(o *deviceResult) error {
+	set.devices++
+	if o.failed {
+		set.tally.failed++
+		return nil
+	}
+	if o.classIndex < 0 || o.classIndex >= len(set.byClass) {
+		return fmt.Errorf("scenario: device class index %d outside mix", o.classIndex)
+	}
+	set.byClass[o.classIndex].add(o)
+	set.total.add(o)
+	if o.degraded {
+		set.tally.degraded++
+	}
+	if o.unreconciled {
+		set.tally.unreconciled++
+	}
+	if o.decisionLoss {
+		set.tally.decisionLoss++
+	}
+	set.tally.reconnects += o.reconnects
+	set.tally.resumes += o.resumes
+	set.tally.replays += o.replays
+	if o.restarted {
+		set.tally.restarts++
+	}
+	return nil
+}
+
+// agg resolves an assertion's class scope.
+func (set *outcomeSet) agg(class string) (*classAgg, error) {
+	if class == "" || class == "all" {
+		return set.total, nil
+	}
+	for i, label := range set.labels {
+		if label == class {
+			return set.byClass[i], nil
+		}
+	}
+	return nil, fmt.Errorf("class %q is not in the fleet mix", class)
+}
+
+// metric evaluates one named observation.
+func (set *outcomeSet) metric(name, class string) (float64, error) {
+	if contains(fleetMetrics, name) {
+		t := set.tally
+		switch name {
+		case "sessions_failed":
+			return float64(t.failed), nil
+		case "degraded_sessions":
+			return float64(t.degraded), nil
+		case "degraded_rate":
+			return rate(t.degraded, set.devices), nil
+		case "unreconciled_sessions":
+			return float64(t.unreconciled), nil
+		case "unreconciled_rate":
+			return rate(t.unreconciled, set.devices), nil
+		case "decision_loss":
+			return float64(t.decisionLoss), nil
+		case "reconnects":
+			return float64(t.reconnects), nil
+		case "resumes":
+			return float64(t.resumes), nil
+		case "replays":
+			return float64(t.replays), nil
+		case "restarts":
+			return float64(t.restarts), nil
+		}
+	}
+	a, err := set.agg(class)
+	if err != nil {
+		return 0, err
+	}
+	switch name {
+	case "devices":
+		return float64(a.devices), nil
+	case "saving_mean":
+		return mean(a.saving)
+	case "saving_p10":
+		return a.savingSketch.Quantile(10)
+	case "saving_p50":
+		return a.savingSketch.Quantile(50)
+	case "saving_p90":
+		return a.savingSketch.Quantile(90)
+	case "saved_j_mean":
+		return mean(a.savedJ)
+	case "saved_j_p50":
+		return a.savedSketch.Quantile(50)
+	case "energy_with_mean":
+		return mean(a.withJ)
+	case "energy_without_mean":
+		return mean(a.withoutJ)
+	case "delay_mean":
+		return mean(a.delay)
+	case "delay_p50":
+		return a.delaySketch.Quantile(50)
+	case "delay_p90":
+		return a.delaySketch.Quantile(90)
+	case "delay_p99":
+		return a.delaySketch.Quantile(99)
+	case "violation_mean":
+		return mean(a.violate)
+	default:
+		return 0, fmt.Errorf("unknown metric %q", name)
+	}
+}
+
+func mean(m stats.Moments) (float64, error) {
+	if m.N() == 0 {
+		return 0, fmt.Errorf("no observations")
+	}
+	return m.Mean(), nil
+}
+
+func rate(n, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(n) / float64(total)
+}
+
+// evaluate runs every assertion against the outcome set.
+func (set *outcomeSet) evaluate(asserts []Assertion) []AssertionResult {
+	results := make([]AssertionResult, 0, len(asserts))
+	for _, a := range asserts {
+		r := AssertionResult{Metric: a.Metric, Class: classLabel(a.Class), Min: a.Min, Max: a.Max}
+		v, err := set.metric(a.Metric, a.Class)
+		if err != nil {
+			r.Error = err.Error()
+		} else {
+			r.Observed = v
+			r.Pass = (a.Min == nil || v >= *a.Min) && (a.Max == nil || v <= *a.Max)
+		}
+		results = append(results, r)
+	}
+	return results
+}
+
+func classLabel(class string) string {
+	if class == "" {
+		return "all"
+	}
+	return class
+}

@@ -1,0 +1,53 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// FuzzParseScenario holds the parser to two properties on arbitrary
+// input: (1) whatever Parse accepts, Validate handles without
+// panicking, and (2) parse → encode → parse is an involution — the
+// canonical JSON form re-parses to a deeply equal scenario. Checked-in
+// seeds live under testdata/fuzz/FuzzParseScenario; the corpus
+// scenarios and a generated stress scenario seed the run too.
+func FuzzParseScenario(f *testing.F) {
+	matches, err := filepath.Glob(filepath.Join(scenarioDir, "*.yaml"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, m := range matches {
+		data, err := os.ReadFile(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	if gen, err := Generate(GenConfig{Seed: 11}); err == nil {
+		if b, err := gen.EncodeJSON(); err == nil {
+			f.Add(b)
+		}
+	}
+	f.Add([]byte(sampleYAML))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		_ = s.Validate() // must not panic on any parsed document
+		encoded, err := s.EncodeJSON()
+		if err != nil {
+			t.Fatalf("parsed but failed to encode: %v", err)
+		}
+		back, err := Parse(encoded)
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %v\n%s", err, encoded)
+		}
+		if !reflect.DeepEqual(s, back) {
+			t.Fatalf("round trip drifted:\n first %+v\nsecond %+v\nencoded:\n%s", s, back, encoded)
+		}
+	})
+}

@@ -1,0 +1,132 @@
+package scenario
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// update regenerates the golden scenario reports:
+//
+//	go test ./internal/scenario -run TestGoldenScenarios -update
+var update = flag.Bool("update", false, "rewrite the golden scenario reports")
+
+const (
+	scenarioDir = "../../scenarios"
+	goldenDir   = "../../scenarios/golden"
+)
+
+// corpusFiles lists the checked-in scenario corpus, sorted for stable
+// test order.
+func corpusFiles(t *testing.T) []string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(scenarioDir, "*.yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatalf("no scenario corpus under %s", scenarioDir)
+	}
+	sort.Strings(matches)
+	return matches
+}
+
+func loadScenario(t *testing.T, path string) *Scenario {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Parse(data)
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	return s
+}
+
+// render executes s and returns the text and JSON report encodings.
+func render(t *testing.T, s *Scenario, workers int) (text, js []byte) {
+	t.Helper()
+	rep, err := Run(s, Options{Workers: workers})
+	if err != nil {
+		t.Fatalf("%s: %v", s.Name, err)
+	}
+	var buf bytes.Buffer
+	if err := rep.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	js, err = rep.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), js
+}
+
+// TestGoldenScenarios pins every corpus scenario's report byte-for-byte
+// against scenarios/golden/, at two worker counts: a diff here means
+// either the simulation's identity changed (update the goldens,
+// deliberately) or determinism broke (fix that instead).
+func TestGoldenScenarios(t *testing.T) {
+	for _, path := range corpusFiles(t) {
+		name := strings.TrimSuffix(filepath.Base(path), ".yaml")
+		t.Run(name, func(t *testing.T) {
+			s := loadScenario(t, path)
+			text1, js1 := render(t, s, 1)
+			text4, js4 := render(t, s, 4)
+			if !bytes.Equal(text1, text4) || !bytes.Equal(js1, js4) {
+				t.Fatalf("%s: report differs between workers=1 and workers=4:\n--- workers=1\n%s\n--- workers=4\n%s", name, text1, text4)
+			}
+			if !strings.Contains(string(text1), "\nresult PASS\n") {
+				t.Errorf("%s: corpus scenario did not pass its own assertions:\n%s", name, text1)
+			}
+			checkGolden(t, name+".txt", text1)
+			checkGolden(t, name+".json", js1)
+		})
+	}
+}
+
+func checkGolden(t *testing.T, file string, got []byte) {
+	t.Helper()
+	path := filepath.Join(goldenDir, file)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden (re-run with -update if intended):\n got:\n%s\nwant:\n%s",
+			file, clip(got), clip(want))
+	}
+}
+
+func clip(b []byte) string {
+	const max = 4096
+	if len(b) <= max {
+		return string(b)
+	}
+	return fmt.Sprintf("%s... (%d bytes)", b[:max], len(b))
+}
+
+// TestCorpusValidates keeps every checked-in scenario parseable and
+// valid on its own, independent of execution.
+func TestCorpusValidates(t *testing.T) {
+	for _, path := range corpusFiles(t) {
+		s := loadScenario(t, path)
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", path, err)
+		}
+		if _, err := s.ConfigHash(); err != nil {
+			t.Errorf("%s: %v", path, err)
+		}
+	}
+}

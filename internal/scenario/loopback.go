@@ -1,0 +1,192 @@
+package scenario
+
+import (
+	"context"
+	"net"
+
+	"etrain/internal/faultnet"
+	"etrain/internal/randx"
+	"etrain/internal/server"
+)
+
+// burstNamespace salts fault-burst injector seeds so a burst's fault
+// schedule never aliases any other stream of the scenario seed.
+var burstNamespace = randx.DeriveString("etrain/scenario/fault_burst")
+
+// rig is the loopback engine's transport: in-process etraind servers
+// reached over net.Pipe, with the scenario's fault bursts and server
+// restart wired into each device's dialer.
+//
+// Determinism: faults wrap only the client side of each pipe (the
+// server side stays clean, exactly like the chaos soak), injected
+// latency is disabled, and each device's server sessions are
+// serialized — a dial waits for the device's previous ServeConn
+// goroutine to return before opening a fresh pipe. That wait closes
+// the client-Resume-versus-server-park race. Crucially, faults are
+// also confined to the client's READ direction (faultnet
+// ReadFaultsOnly) and the restart cut counts response bytes: the
+// server reads ahead of its decision writes through a bounded queue,
+// so a write-side kill would salvage a scheduler-dependent number of
+// response frames, while the read direction has a single consumer
+// goroutine whose operation sequence is a pure function of the
+// deterministic response stream. That is what makes even the healing
+// counters (reconnects, resumes, replays, stints) pure functions of
+// the scenario seed, fit for a byte-pinned report.
+type rig struct {
+	srvA *server.Server
+	// srvB exists when the timeline holds a server_restart: dials after
+	// the cut land here, and its empty resume registry is what makes
+	// the restart observable (Resume misses, full Hello replay).
+	srvB    *server.Server
+	bursts  []burst
+	restart *compiledEvent
+}
+
+// burst is one compiled fault_burst: an injector and its device scope.
+type burst struct {
+	inj   *faultnet.Injector
+	match deviceMatcher
+}
+
+// newRig builds the transport for a compiled loopback scenario.
+func newRig(c *compiled) (*rig, error) {
+	r := &rig{srvA: server.New(server.Config{})}
+	for i := range c.events {
+		ev := &c.events[i]
+		switch ev.Action {
+		case ActionFaultBurst:
+			inj, err := faultnet.New(faultnet.Config{
+				Seed:           randx.Derive(c.sc.Seed, burstNamespace, uint64(ev.index), uint64(ev.At.D())),
+				Drop:           ev.Drop,
+				Reset:          ev.Reset,
+				Truncate:       ev.Truncate,
+				ConnectFail:    ev.ConnectFail,
+				ReadFaultsOnly: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			r.bursts = append(r.bursts, burst{inj: inj, match: ev.match})
+		case ActionServerRestart:
+			r.restart = ev
+		}
+	}
+	if r.restart != nil {
+		r.srvB = server.New(server.Config{})
+	}
+	return r, nil
+}
+
+// close drains the servers. All sessions have returned by the time the
+// run calls it, so the drains are immediate.
+func (r *rig) close() {
+	ctx := context.Background()
+	r.srvA.Shutdown(ctx)
+	if r.srvB != nil {
+		r.srvB.Shutdown(ctx)
+	}
+}
+
+// burstFor returns the fault burst governing device i: the last
+// matching burst in timeline order wins, so a later burst overrides an
+// earlier fleet-wide one for its devices.
+func (r *rig) burstFor(i int) *burst {
+	for b := len(r.bursts) - 1; b >= 0; b-- {
+		if r.bursts[b].match(i) {
+			return &r.bursts[b]
+		}
+	}
+	return nil
+}
+
+// dialState is one device's transport bookkeeping. It is only touched
+// from the device's client goroutine: client.Run dials and writes from
+// a single goroutine, so no locking is needed.
+type dialState struct {
+	rig    *rig
+	device int
+	// prev is closed when the device's previous ServeConn returns; the
+	// next dial waits on it, serializing the device's server sessions.
+	prev chan struct{}
+	// cutLeft counts response bytes until the restart cut; -1 disarms.
+	cutLeft int
+	// restarted latches the cut: later dials go to srvB.
+	restarted bool
+}
+
+// dialerFor builds device i's dial function, composing the restart cut
+// (innermost), the serialized pipe dial, and the device's fault burst
+// (outermost, wrapping only the client side). responseBytes is the
+// encoded size of the fault-free response stream; the restart cut
+// severs the connection a fraction At/Horizon of the way through it,
+// which is deterministic because the client's reader goroutine is the
+// only consumer of those bytes.
+func (r *rig) dialerFor(c *compiled, i, responseBytes int) (func() (net.Conn, error), *dialState) {
+	st := &dialState{rig: r, device: i, cutLeft: -1}
+	if r.restart != nil {
+		frac := float64(r.restart.At.D()) / float64(c.sc.Horizon.D())
+		st.cutLeft = 1 + int(frac*float64(responseBytes))
+	}
+	dial := st.dial
+	if b := r.burstFor(i); b != nil {
+		dial = b.inj.Dialer(dial, uint64(i))
+	}
+	return dial, st
+}
+
+// dial opens one serialized loopback connection.
+func (st *dialState) dial() (net.Conn, error) {
+	if st.prev != nil {
+		<-st.prev
+	}
+	srv := st.rig.srvA
+	if st.restarted {
+		srv = st.rig.srvB
+	}
+	cs, ss := net.Pipe()
+	done := make(chan struct{})
+	go func(conn net.Conn) {
+		defer close(done)
+		srv.ServeConn(conn)
+	}(ss)
+	st.prev = done
+	if st.cutLeft >= 0 && !st.restarted {
+		return &cutConn{Conn: cs, st: st}, nil
+	}
+	return cs, nil
+}
+
+// join waits for the device's last server session to unwind.
+func (st *dialState) join() {
+	if st.prev != nil {
+		<-st.prev
+	}
+}
+
+// cutConn is the server_restart trigger: it meters the response bytes
+// the client reads and, when the quota is spent, kills the connection
+// once — modeling the instant the old server process died. Subsequent
+// dials see restarted and reach the replacement server. Reads clamp to
+// the remaining quota so the cut lands at an exact byte offset of the
+// deterministic response stream.
+type cutConn struct {
+	net.Conn
+	st *dialState
+}
+
+func (c *cutConn) Read(p []byte) (int, error) {
+	st := c.st
+	if st.restarted {
+		return 0, net.ErrClosed
+	}
+	if len(p) > st.cutLeft {
+		p = p[:st.cutLeft]
+	}
+	n, err := c.Conn.Read(p)
+	st.cutLeft -= n
+	if st.cutLeft <= 0 {
+		st.restarted = true
+		c.Conn.Close()
+	}
+	return n, err
+}

@@ -1,0 +1,49 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Parse decodes a scenario from its JSON or YAML-subset source. A
+// document whose first significant byte is '{' parses as strict JSON;
+// anything else goes through the YAML-subset parser. Both paths reject
+// unknown fields, so a typo in a scenario file is an error, not a
+// silently ignored knob. Parse does not validate semantics — call
+// Validate (or Run, which validates) on the result.
+func Parse(data []byte) (*Scenario, error) {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) == 0 {
+		return nil, fmt.Errorf("scenario: empty document")
+	}
+	if trimmed[0] == '{' {
+		return decodeStrict(trimmed)
+	}
+	tree, err := parseYAML(data)
+	if err != nil {
+		return nil, err
+	}
+	b, err := json.Marshal(tree)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: internal re-encode: %w", err)
+	}
+	return decodeStrict(b)
+}
+
+// decodeStrict unmarshals JSON into a Scenario, rejecting unknown
+// fields and trailing content.
+func decodeStrict(data []byte) (*Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	var trailing any
+	if err := dec.Decode(&trailing); err != io.EOF {
+		return nil, fmt.Errorf("scenario: trailing content after document")
+	}
+	return &s, nil
+}

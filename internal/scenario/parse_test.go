@@ -1,0 +1,283 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleYAML = `# full-featured document
+name: kitchen-sink
+description: exercises every field
+seed: 9
+horizon: 90m
+theta: 1.5
+k: 8
+engine: loopback
+fleet:
+  devices: 12
+  classes:
+    - class: active
+      weight: 0.25
+    - class: inactive
+      weight: 0.75
+timeline:
+  - at: 10m
+    action: fault_burst
+    devices: every:2
+    drop: 0.1
+    connect_fail: 0.05
+  - at: 20m
+    action: server_restart
+assert:
+  - metric: sessions_failed
+    max: 0
+  - metric: saving_mean
+    class: active
+    min: 0.1
+    max: 1
+`
+
+func TestParseYAMLDocument(t *testing.T) {
+	s, err := Parse([]byte(sampleYAML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "kitchen-sink" || s.Seed != 9 || s.K != 8 || s.Engine != EngineLoopback {
+		t.Errorf("header fields wrong: %+v", s)
+	}
+	if s.Horizon.D() != 90*time.Minute {
+		t.Errorf("horizon = %v, want 90m", s.Horizon)
+	}
+	if s.Theta == nil || *s.Theta != 1.5 {
+		t.Errorf("theta = %v, want 1.5", s.Theta)
+	}
+	if len(s.Fleet.Classes) != 2 || s.Fleet.Classes[1].Weight != 0.75 {
+		t.Errorf("classes = %+v", s.Fleet.Classes)
+	}
+	if len(s.Timeline) != 2 || s.Timeline[0].Action != ActionFaultBurst || s.Timeline[0].Drop != 0.1 {
+		t.Errorf("timeline = %+v", s.Timeline)
+	}
+	if len(s.Assert) != 2 || s.Assert[1].Class != "active" || *s.Assert[1].Min != 0.1 {
+		t.Errorf("assert = %+v", s.Assert)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("validate: %v", err)
+	}
+}
+
+// TestParseJSONDocument routes a leading '{' through the strict JSON
+// decoder.
+func TestParseJSONDocument(t *testing.T) {
+	s, err := Parse([]byte(`{"name": "j", "seed": 1, "horizon": "1h", "fleet": {"devices": 2}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "j" || s.Fleet.Devices != 2 || s.Horizon.D() != time.Hour {
+		t.Errorf("parsed %+v", s)
+	}
+}
+
+// TestParseRoundTrip pins the encode/parse involution the fuzz target
+// asserts: a parsed scenario re-encodes to a form that parses back to
+// the same value.
+func TestParseRoundTrip(t *testing.T) {
+	s, err := Parse([]byte(sampleYAML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	encoded, err := s.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(encoded)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, encoded)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Errorf("round trip drifted:\n first %+v\nsecond %+v", s, back)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	cases := []struct {
+		name, doc, want string
+	}{
+		{"tab indent", "name: x\n\tseed: 1\n", "tab"},
+		{"duplicate key", "name: x\nname: y\n", "duplicate"},
+		{"unknown field", "name: x\nbogus: 1\n", "bogus"},
+		{"bad duration", "name: x\nhorizon: fast\n", "duration"},
+		{"bad nesting", "name: x\nfleet:\n      devices: 1\n   oops: 2\n", "indent"},
+		{"json trailing", `{"name": "x"} extra`, "trailing"},
+		{"flow style", "name: [a, b]\n", "unsupported"},
+		{"unterminated quote", "name: \"abc\n", "quote"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.doc))
+			if err == nil {
+				t.Fatalf("parsed %q without error", tc.doc)
+			}
+			if !strings.Contains(strings.ToLower(err.Error()), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseScalarTypes(t *testing.T) {
+	doc := "name: \"quoted # not comment\"\nseed: -3\ndescription: plain text # comment\nhorizon: 1h\nfleet:\n  devices: 4\n"
+	s, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "quoted # not comment" {
+		t.Errorf("quoted scalar = %q", s.Name)
+	}
+	if s.Seed != -3 {
+		t.Errorf("seed = %d", s.Seed)
+	}
+	if s.Description != "plain text" {
+		t.Errorf("trailing comment kept: %q", s.Description)
+	}
+}
+
+func TestParseDevicesSelectors(t *testing.T) {
+	valid := map[string][]int{ // selector -> indices (of 0..9) expected to match
+		"":        {0, 1, 2, 3, 4, 5, 6, 7, 8, 9},
+		"all":     {0, 1, 2, 3, 4, 5, 6, 7, 8, 9},
+		"3":       {3},
+		"2-4":     {2, 3, 4},
+		"every:3": {0, 3, 6, 9},
+	}
+	for sel, want := range valid {
+		m, err := parseDevices(sel)
+		if err != nil {
+			t.Errorf("%q: %v", sel, err)
+			continue
+		}
+		var got []int
+		for i := 0; i < 10; i++ {
+			if m(i) {
+				got = append(got, i)
+			}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%q matched %v, want %v", sel, got, want)
+		}
+	}
+	for _, sel := range []string{"x", "-1", "5-2", "every:0", "every:x", "1-2-3", "01", "every:02"} {
+		if _, err := parseDevices(sel); err == nil {
+			t.Errorf("selector %q accepted", sel)
+		}
+	}
+}
+
+func TestValidateCatches(t *testing.T) {
+	base := func() *Scenario {
+		return &Scenario{Name: "v", Seed: 1, Horizon: Duration(time.Hour), Fleet: Fleet{Devices: 4}}
+	}
+	cases := []struct {
+		name string
+		mut  func(*Scenario)
+		want string
+	}{
+		{"no name", func(s *Scenario) { s.Name = "" }, "name"},
+		{"zero horizon", func(s *Scenario) { s.Horizon = 0 }, "horizon"},
+		{"huge horizon", func(s *Scenario) { s.Horizon = Duration(MaxHorizon + 1) }, "horizon"},
+		{"negative theta", func(s *Scenario) { th := -1.0; s.Theta = &th }, "theta"},
+		{"negative k", func(s *Scenario) { s.K = -2 }, "k"},
+		{"bad engine", func(s *Scenario) { s.Engine = "quantum" }, "engine"},
+		{"no devices", func(s *Scenario) { s.Fleet.Devices = 0 }, "devices"},
+		{"too many devices", func(s *Scenario) { s.Fleet.Devices = MaxDevices + 1 }, "devices"},
+		{"bad class", func(s *Scenario) { s.Fleet.Classes = []ClassWeight{{Class: "vip", Weight: 1}} }, "class"},
+		{"fault burst without loopback", func(s *Scenario) {
+			s.Timeline = []Event{{Action: ActionFaultBurst, Drop: 0.1}}
+		}, "loopback"},
+		{"regime under loopback", func(s *Scenario) {
+			s.Engine = EngineLoopback
+			s.Timeline = []Event{{Action: ActionBandwidthRegime, Regime: "bus"}}
+		}, "direct"},
+		{"two restarts", func(s *Scenario) {
+			s.Engine = EngineLoopback
+			s.Timeline = []Event{{Action: ActionServerRestart}, {Action: ActionServerRestart}}
+		}, "at most one"},
+		{"event past horizon", func(s *Scenario) {
+			s.Timeline = []Event{{At: Duration(2 * time.Hour), Action: ActionReboot, Duration: Duration(time.Minute)}}
+		}, "outside"},
+		{"rates zero", func(s *Scenario) {
+			s.Engine = EngineLoopback
+			s.Timeline = []Event{{Action: ActionFaultBurst}}
+		}, "zero"},
+		{"rates sum", func(s *Scenario) {
+			s.Engine = EngineLoopback
+			s.Timeline = []Event{{Action: ActionFaultBurst, Drop: 0.5, Reset: 0.4, Truncate: 0.3}}
+		}, "exceeds"},
+		{"restart with scope", func(s *Scenario) {
+			s.Engine = EngineLoopback
+			s.Timeline = []Event{{Action: ActionServerRestart, Devices: "3"}}
+		}, "fleet-wide"},
+		{"regime and factor", func(s *Scenario) {
+			s.Timeline = []Event{{Action: ActionBandwidthRegime, Regime: "bus", Factor: 2}}
+		}, "not both"},
+		{"schedule factor zero", func(s *Scenario) {
+			s.Timeline = []Event{{Action: ActionHeartbeatSchedule}}
+		}, "factor"},
+		{"unknown app", func(s *Scenario) {
+			s.Timeline = []Event{{Action: ActionAppInstall, App: "icq"}}
+		}, "app"},
+		{"reboot no duration", func(s *Scenario) {
+			s.Timeline = []Event{{Action: ActionReboot}}
+		}, "duration"},
+		{"unknown action", func(s *Scenario) {
+			s.Timeline = []Event{{Action: "explode"}}
+		}, "action"},
+		{"assert unknown metric", func(s *Scenario) {
+			min := 1.0
+			s.Assert = []Assertion{{Metric: "vibes", Min: &min}}
+		}, "metric"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := base()
+			tc.mut(s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatalf("validated %+v without error", s)
+			}
+			if !strings.Contains(strings.ToLower(err.Error()), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("base scenario invalid: %v", err)
+	}
+}
+
+// TestConfigHashDistinguishes ensures the hash tracks simulation
+// identity: any field change moves it.
+func TestConfigHashDistinguishes(t *testing.T) {
+	a := &Scenario{Name: "h", Seed: 1, Horizon: Duration(time.Hour), Fleet: Fleet{Devices: 4}}
+	h1, err := a.ConfigHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Seed = 2
+	h2, err := a.ConfigHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 == h2 {
+		t.Errorf("hash did not move with seed: %s", h1)
+	}
+	a.Seed = 1
+	h3, err := a.ConfigHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h3 {
+		t.Errorf("hash not stable: %s vs %s", h1, h3)
+	}
+}

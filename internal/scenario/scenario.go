@@ -1,0 +1,475 @@
+// Package scenario is the declarative front end to the eTrain
+// simulation stack: a JSON/YAML-subset file format that names a fleet
+// (weighted device-class templates over workload.Population /
+// fleet.SynthesizeDevice), a seeded timeline of events — fault bursts,
+// bandwidth-regime switches, heartbeat-schedule changes, app
+// install/uninstall, device reboots, a server restart — and an assert
+// block of end-state predicates over the run's merged stats aggregates.
+//
+// A scenario executes either in-process against sim.Engine ("direct")
+// or over loopback etraind sessions through the self-healing
+// internal/client ("loopback"), and produces a machine-readable
+// pass/fail Report whose text rendering is byte-identical across runs
+// and worker counts: every device's behavior is a pure function of
+// (scenario seed, device index), outcomes fold in index order, and the
+// loopback transport serializes each device's server sessions so even
+// the healing counters are deterministic (DESIGN.md §12).
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"etrain/internal/fleet"
+	"etrain/internal/randx"
+	"etrain/internal/workload"
+)
+
+// Format limits, applied by Validate. They bound what a hostile or
+// fuzzed scenario can make the engine allocate before any device runs.
+const (
+	// MaxDevices caps the declared fleet size.
+	MaxDevices = 1 << 20
+	// MaxHorizon caps the simulated span.
+	MaxHorizon = 30 * 24 * time.Hour
+	// MaxEvents caps the timeline length.
+	MaxEvents = 4096
+	// MaxAssertions caps the assert block.
+	MaxAssertions = 256
+)
+
+// DefaultTheta is the cost bound Θ used when a scenario omits theta,
+// matching the single-run CLI default.
+const DefaultTheta = 2.0
+
+// Engine names for Scenario.Engine.
+const (
+	// EngineDirect runs every device in-process through sim.Engine.
+	EngineDirect = "direct"
+	// EngineLoopback replays every device over an in-process etraind
+	// session via the self-healing client.
+	EngineLoopback = "loopback"
+)
+
+// Event actions.
+const (
+	// ActionFaultBurst arms a faultnet injector on the transport of the
+	// matching devices (loopback engine only). Transport faults are
+	// keyed by operation index, not virtual time, so the burst shapes
+	// the whole session; At only salts the burst's fault-stream seed.
+	ActionFaultBurst = "fault_burst"
+	// ActionServerRestart kills each session's connection once — after a
+	// write quota derived from At/Horizon — and points later dials at a
+	// fresh server instance with an empty resume registry (loopback
+	// engine only).
+	ActionServerRestart = "server_restart"
+	// ActionBandwidthRegime reshapes the channel from At: Factor scales
+	// the remaining trace samples, or Regime resynthesizes the tail
+	// under a named mobility regime (direct engine only — a loopback
+	// Hello carries just the channel seed, so a transformed trace
+	// cannot cross the wire).
+	ActionBandwidthRegime = "bandwidth_regime"
+	// ActionHeartbeatSchedule multiplies heartbeat cycle intervals by
+	// Factor for beats at or after At.
+	ActionHeartbeatSchedule = "heartbeat_schedule"
+	// ActionAppInstall adds a named heartbeat app with its first beat
+	// at At.
+	ActionAppInstall = "app_install"
+	// ActionAppUninstall stops a named heartbeat app's beats from At.
+	ActionAppUninstall = "app_uninstall"
+	// ActionReboot silences the device for [At, At+Duration): beats in
+	// the window are lost, cargo arrivals in the window queue up and
+	// arrive together when the device returns.
+	ActionReboot = "reboot"
+)
+
+// Duration is a time.Duration that travels through JSON as a
+// time.ParseDuration string ("90s", "10m"), so scenario files read
+// naturally and parse→encode→parse round-trips exactly.
+type Duration time.Duration
+
+// D returns the native duration.
+func (d Duration) D() time.Duration { return time.Duration(d) }
+
+// String renders the duration in time.Duration syntax.
+func (d Duration) String() string { return time.Duration(d).String() }
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf(`scenario: duration must be a string like "90s": %w`, err)
+	}
+	v, err := time.ParseDuration(s)
+	if err != nil {
+		return fmt.Errorf("scenario: bad duration %q: %w", s, err)
+	}
+	*d = Duration(v)
+	return nil
+}
+
+// Scenario is one declared experiment: fleet, timeline, assertions.
+type Scenario struct {
+	// Name identifies the scenario; required, and echoed in the report.
+	Name string `json:"name"`
+	// Description is free-form documentation.
+	Description string `json:"description,omitempty"`
+	// Seed roots every random stream of the run.
+	Seed int64 `json:"seed"`
+	// Horizon is each device's simulated span; required.
+	Horizon Duration `json:"horizon"`
+	// Theta is the eTrain cost bound Θ (DefaultTheta when omitted;
+	// an explicit 0 is honored — it collapses savings, which is what
+	// the broken-Θ negative test exploits).
+	Theta *float64 `json:"theta,omitempty"`
+	// K is the per-heartbeat batch bound (fleet.DefaultK when 0).
+	K int `json:"k,omitempty"`
+	// Engine selects the execution path (EngineDirect when empty).
+	Engine string `json:"engine,omitempty"`
+	// Fleet declares the device population.
+	Fleet Fleet `json:"fleet"`
+	// Timeline holds the seeded events, applied in (At, index) order.
+	Timeline []Event `json:"timeline,omitempty"`
+	// Assert holds the end-state predicates.
+	Assert []Assertion `json:"assert,omitempty"`
+}
+
+// Fleet declares the device population of a scenario.
+type Fleet struct {
+	// Devices is the population size; required.
+	Devices int `json:"devices"`
+	// Classes is the weighted activeness mix (workload.DefaultMix()
+	// when empty).
+	Classes []ClassWeight `json:"classes,omitempty"`
+}
+
+// ClassWeight weights one activeness class in the fleet mix.
+type ClassWeight struct {
+	// Class is "active", "moderate" or "inactive".
+	Class string `json:"class"`
+	// Weight is the class's relative share; need not sum to 1.
+	Weight float64 `json:"weight"`
+}
+
+// Event is one timeline entry. Which fields apply depends on Action;
+// Validate rejects combinations the action does not define.
+type Event struct {
+	// At is the event's virtual instant in [0, horizon].
+	At Duration `json:"at"`
+	// Action is one of the Action constants.
+	Action string `json:"action"`
+	// Devices selects the affected devices: "all" (default), a single
+	// index "7", an inclusive range "0-15", or a stride "every:3".
+	Devices string `json:"devices,omitempty"`
+	// Duration is the reboot outage length.
+	Duration Duration `json:"duration,omitempty"`
+	// App names the heartbeat app for install/uninstall
+	// (qq, wechat, whatsapp, renren, netease, apns).
+	App string `json:"app,omitempty"`
+	// Factor scales bandwidth samples or heartbeat cycles.
+	Factor float64 `json:"factor,omitempty"`
+	// Regime names a mobility regime for bandwidth_regime
+	// (bus, walk, indoor).
+	Regime string `json:"regime,omitempty"`
+	// Drop, Reset, Truncate and ConnectFail are the fault_burst rates,
+	// each in [0, 1] (faultnet.Config).
+	Drop        float64 `json:"drop,omitempty"`
+	Reset       float64 `json:"reset,omitempty"`
+	Truncate    float64 `json:"truncate,omitempty"`
+	ConnectFail float64 `json:"connect_fail,omitempty"`
+}
+
+// Assertion is one end-state predicate: metric within [Min, Max]
+// (inclusive; either bound may be omitted).
+type Assertion struct {
+	// Metric names the observed quantity (see the metric list in
+	// DESIGN.md §12): saving_mean, saving_p50, delay_p99, decision_loss,
+	// degraded_rate, ...
+	Metric string `json:"metric"`
+	// Class scopes the metric to one activeness class; "all" (default)
+	// spans the fleet. Transport metrics are fleet-wide only.
+	Class string `json:"class,omitempty"`
+	// Min and Max bound the observation, inclusively.
+	Min *float64 `json:"min,omitempty"`
+	Max *float64 `json:"max,omitempty"`
+}
+
+// EncodeJSON renders the scenario in its canonical JSON form — the
+// fixed field order and indentation the fuzz round-trip pins.
+func (s *Scenario) EncodeJSON() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: encode: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// ConfigHash names the scenario's simulation identity: a hash of the
+// canonical encoding, so any change to fleet, timeline, parameters or
+// assertions renames the run.
+func (s *Scenario) ConfigHash() (string, error) {
+	b, err := s.EncodeJSON()
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%016x", randx.DeriveString(string(b))), nil
+}
+
+// EffectiveTheta returns the cost bound the run uses.
+func (s *Scenario) EffectiveTheta() float64 {
+	if s.Theta == nil {
+		return DefaultTheta
+	}
+	return *s.Theta
+}
+
+// EffectiveK returns the batch bound the run uses.
+func (s *Scenario) EffectiveK() int {
+	if s.K == 0 {
+		return fleet.DefaultK
+	}
+	return s.K
+}
+
+// Validate checks the scenario against the format's rules without
+// running it. It never panics, whatever Parse produced.
+func (s *Scenario) Validate() error {
+	_, err := s.compile()
+	return err
+}
+
+// compiled is a validated scenario with its derived artifacts: the
+// population sampler, parsed device selectors, and the timeline in
+// application order.
+type compiled struct {
+	sc       *Scenario
+	theta    float64
+	k        int
+	loopback bool
+	mix      []workload.ClassShare
+	pop      *workload.Population
+	// events is the timeline sorted stably by (At, declaration order),
+	// each with its parsed device matcher and original index.
+	events []compiledEvent
+}
+
+type compiledEvent struct {
+	Event
+	index int
+	match deviceMatcher
+}
+
+// compile validates and resolves the scenario.
+func (s *Scenario) compile() (*compiled, error) {
+	if s.Name == "" {
+		return nil, fmt.Errorf("scenario: name is required")
+	}
+	horizon := s.Horizon.D()
+	if horizon <= 0 {
+		return nil, fmt.Errorf("scenario %s: horizon %v must be positive", s.Name, horizon)
+	}
+	if horizon > MaxHorizon {
+		return nil, fmt.Errorf("scenario %s: horizon %v exceeds %v", s.Name, horizon, MaxHorizon)
+	}
+	if s.Theta != nil && (*s.Theta < 0 || *s.Theta != *s.Theta) {
+		return nil, fmt.Errorf("scenario %s: theta %v must be ≥ 0", s.Name, *s.Theta)
+	}
+	if s.K < 0 {
+		return nil, fmt.Errorf("scenario %s: k %d must be ≥ 0", s.Name, s.K)
+	}
+	c := &compiled{sc: s, theta: s.EffectiveTheta(), k: s.EffectiveK()}
+	switch s.Engine {
+	case "", EngineDirect:
+	case EngineLoopback:
+		c.loopback = true
+	default:
+		return nil, fmt.Errorf("scenario %s: unknown engine %q", s.Name, s.Engine)
+	}
+	if s.Fleet.Devices <= 0 {
+		return nil, fmt.Errorf("scenario %s: fleet.devices %d must be positive", s.Name, s.Fleet.Devices)
+	}
+	if s.Fleet.Devices > MaxDevices {
+		return nil, fmt.Errorf("scenario %s: fleet.devices %d exceeds %d", s.Name, s.Fleet.Devices, MaxDevices)
+	}
+	mix, err := s.Fleet.mix()
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	c.mix = mix
+	if c.pop, err = workload.NewPopulation(mix); err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	if len(s.Timeline) > MaxEvents {
+		return nil, fmt.Errorf("scenario %s: %d timeline events exceed %d", s.Name, len(s.Timeline), MaxEvents)
+	}
+	restarts := 0
+	for i, ev := range s.Timeline {
+		ce, err := compileEvent(ev, i, horizon, c.loopback)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: timeline[%d]: %w", s.Name, i, err)
+		}
+		if ev.Action == ActionServerRestart {
+			if restarts++; restarts > 1 {
+				return nil, fmt.Errorf("scenario %s: timeline[%d]: at most one server_restart per scenario", s.Name, i)
+			}
+		}
+		c.events = append(c.events, ce)
+	}
+	sortEvents(c.events)
+	if len(s.Assert) > MaxAssertions {
+		return nil, fmt.Errorf("scenario %s: %d assertions exceed %d", s.Name, len(s.Assert), MaxAssertions)
+	}
+	for i, a := range s.Assert {
+		if err := validateAssertion(a, mix); err != nil {
+			return nil, fmt.Errorf("scenario %s: assert[%d]: %w", s.Name, i, err)
+		}
+	}
+	return c, nil
+}
+
+// mix resolves the fleet's class mix, defaulting to the standard
+// engagement pyramid.
+func (f Fleet) mix() ([]workload.ClassShare, error) {
+	if len(f.Classes) == 0 {
+		return workload.DefaultMix(), nil
+	}
+	mix := make([]workload.ClassShare, len(f.Classes))
+	for i, cw := range f.Classes {
+		class, err := workload.ParseClass(cw.Class)
+		if err != nil {
+			return nil, fmt.Errorf("fleet.classes[%d]: %w", i, err)
+		}
+		mix[i] = workload.ClassShare{Class: class, Weight: cw.Weight}
+	}
+	return mix, nil
+}
+
+// compileEvent validates one timeline entry against its action's rules.
+func compileEvent(ev Event, index int, horizon time.Duration, loopback bool) (compiledEvent, error) {
+	ce := compiledEvent{Event: ev, index: index}
+	at := ev.At.D()
+	if at < 0 || at > horizon {
+		return ce, fmt.Errorf("at %v outside [0, %v]", at, horizon)
+	}
+	match, err := parseDevices(ev.Devices)
+	if err != nil {
+		return ce, err
+	}
+	ce.match = match
+	needsLoopback := false
+	directOnly := false
+	switch ev.Action {
+	case ActionFaultBurst:
+		needsLoopback = true
+		for _, r := range []struct {
+			name string
+			v    float64
+		}{{"drop", ev.Drop}, {"reset", ev.Reset}, {"truncate", ev.Truncate}, {"connect_fail", ev.ConnectFail}} {
+			if r.v < 0 || r.v > 1 || r.v != r.v {
+				return ce, fmt.Errorf("%s rate %v outside [0, 1]", r.name, r.v)
+			}
+		}
+		if ev.Drop+ev.Reset+ev.Truncate > 1 {
+			return ce, fmt.Errorf("drop+reset+truncate %v exceeds 1", ev.Drop+ev.Reset+ev.Truncate)
+		}
+		if ev.Drop+ev.Reset+ev.Truncate+ev.ConnectFail == 0 {
+			return ce, fmt.Errorf("fault_burst with all rates zero")
+		}
+	case ActionServerRestart:
+		needsLoopback = true
+		if ev.Devices != "" && ev.Devices != "all" {
+			return ce, fmt.Errorf("server_restart is fleet-wide; devices %q not allowed", ev.Devices)
+		}
+	case ActionBandwidthRegime:
+		directOnly = true
+		switch {
+		case ev.Regime != "":
+			if ev.Factor != 0 {
+				return ce, fmt.Errorf("bandwidth_regime takes regime or factor, not both")
+			}
+			if _, err := regimeByName(ev.Regime); err != nil {
+				return ce, err
+			}
+		case ev.Factor > 0 && ev.Factor <= 100 && ev.Factor == ev.Factor:
+		default:
+			return ce, fmt.Errorf("bandwidth_regime needs a regime name or a factor in (0, 100], got factor %v", ev.Factor)
+		}
+	case ActionHeartbeatSchedule:
+		if !(ev.Factor > 0 && ev.Factor <= 100) {
+			return ce, fmt.Errorf("heartbeat_schedule factor %v outside (0, 100]", ev.Factor)
+		}
+	case ActionAppInstall, ActionAppUninstall:
+		if _, err := trainByName(ev.App); err != nil {
+			return ce, err
+		}
+	case ActionReboot:
+		d := ev.Duration.D()
+		if d <= 0 {
+			return ce, fmt.Errorf("reboot duration %v must be positive", d)
+		}
+	case "":
+		return ce, fmt.Errorf("action is required")
+	default:
+		return ce, fmt.Errorf("unknown action %q", ev.Action)
+	}
+	if needsLoopback && !loopback {
+		return ce, fmt.Errorf("%s requires engine: loopback", ev.Action)
+	}
+	if directOnly && loopback {
+		return ce, fmt.Errorf("%s requires engine: direct — a loopback Hello carries only the channel seed, so a transformed trace cannot cross the wire", ev.Action)
+	}
+	return ce, nil
+}
+
+// sortEvents orders the timeline stably by (At, declaration order).
+func sortEvents(events []compiledEvent) {
+	for i := 1; i < len(events); i++ {
+		for j := i; j > 0 && less(events[j], events[j-1]); j-- {
+			events[j], events[j-1] = events[j-1], events[j]
+		}
+	}
+}
+
+func less(a, b compiledEvent) bool {
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	return a.index < b.index
+}
+
+// deviceMatcher reports whether a device index is selected.
+type deviceMatcher func(i int) bool
+
+// parseDevices parses a device selector: "", "all", "7", "0-15",
+// "every:3".
+func parseDevices(s string) (deviceMatcher, error) {
+	switch {
+	case s == "" || s == "all":
+		return func(int) bool { return true }, nil
+	case len(s) > 6 && s[:6] == "every:":
+		var k int
+		if _, err := fmt.Sscanf(s[6:], "%d", &k); err != nil || k <= 0 || fmt.Sprintf("%d", k) != s[6:] {
+			return nil, fmt.Errorf("bad device stride %q", s)
+		}
+		return func(i int) bool { return i%k == 0 }, nil
+	default:
+		var lo, hi int
+		if n, err := fmt.Sscanf(s, "%d-%d", &lo, &hi); err == nil && n == 2 && fmt.Sprintf("%d-%d", lo, hi) == s {
+			if lo < 0 || hi < lo {
+				return nil, fmt.Errorf("bad device range %q", s)
+			}
+			return func(i int) bool { return i >= lo && i <= hi }, nil
+		}
+		var one int
+		if n, err := fmt.Sscanf(s, "%d", &one); err == nil && n == 1 && fmt.Sprintf("%d", one) == s && one >= 0 {
+			return func(i int) bool { return i == one }, nil
+		}
+		return nil, fmt.Errorf("bad device selector %q (want all, N, lo-hi, or every:K)", s)
+	}
+}

@@ -1,0 +1,154 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"etrain/internal/randx"
+)
+
+// genNamespace keeps generated-scenario draws independent of every
+// simulation stream derived from the same seed.
+var genNamespace = randx.DeriveString("etrain/scenario/stressgen")
+
+// GenConfig parameterizes Generate.
+type GenConfig struct {
+	// Seed drives every draw; equal configs yield byte-identical
+	// scenarios.
+	Seed int64
+	// Devices is the fleet size (default 16).
+	Devices int
+	// Events is the timeline length (default 8).
+	Events int
+	// Engine selects direct or loopback (default loopback).
+	Engine string
+}
+
+// genApps and genRegimes enumerate the generator's draw pools; they
+// mirror trainByName and bandwidth.DefaultRegimes.
+var (
+	genApps    = []string{"qq", "wechat", "whatsapp", "renren", "netease", "apns"}
+	genRegimes = []string{"bus", "walk", "indoor"}
+)
+
+// Generate synthesizes a random — but always valid — scenario for
+// stress and fuzz seeding. The result is a pure function of the
+// config, and Generate validates it before returning.
+func Generate(cfg GenConfig) (*Scenario, error) {
+	devices := cfg.Devices
+	if devices == 0 {
+		devices = 16
+	}
+	events := cfg.Events
+	if events == 0 {
+		events = 8
+	}
+	engine := cfg.Engine
+	if engine == "" {
+		engine = EngineLoopback
+	}
+	if engine != EngineDirect && engine != EngineLoopback {
+		return nil, fmt.Errorf("scenario: generate: unknown engine %q", engine)
+	}
+	if devices < 1 || devices > MaxDevices {
+		return nil, fmt.Errorf("scenario: generate: devices %d outside [1, %d]", devices, MaxDevices)
+	}
+	if events < 0 || events > MaxEvents {
+		return nil, fmt.Errorf("scenario: generate: events %d outside [0, %d]", events, MaxEvents)
+	}
+
+	src := randx.New(randx.Derive(cfg.Seed, genNamespace))
+	horizon := time.Duration(1+src.Intn(4)) * time.Hour
+	s := &Scenario{
+		Name:        fmt.Sprintf("stress-%d", cfg.Seed),
+		Description: "generated stress scenario",
+		Seed:        cfg.Seed,
+		Horizon:     Duration(horizon),
+		Engine:      engine,
+		Fleet:       Fleet{Devices: devices},
+	}
+
+	actions := []string{
+		ActionHeartbeatSchedule, ActionAppInstall, ActionAppUninstall, ActionReboot,
+	}
+	if engine == EngineLoopback {
+		actions = append(actions, ActionFaultBurst)
+	} else {
+		actions = append(actions, ActionBandwidthRegime)
+	}
+	restarted := false
+	for i := 0; i < events; i++ {
+		ev := Event{
+			At:      genAt(src, horizon),
+			Devices: genDevices(src, devices),
+		}
+		// A loopback timeline gets at most one server restart, somewhere
+		// in its middle half.
+		if engine == EngineLoopback && !restarted && src.Intn(4) == 0 {
+			restarted = true
+			ev.Action = ActionServerRestart
+			ev.Devices = "all"
+			ev.At = Duration(horizon/4 + time.Duration(src.Intn(int(horizon/2)/int(time.Second)))*time.Second)
+			s.Timeline = append(s.Timeline, ev)
+			continue
+		}
+		switch ev.Action = actions[src.Intn(len(actions))]; ev.Action {
+		case ActionHeartbeatSchedule:
+			ev.Factor = 0.25 + float64(src.Intn(16))*0.25
+		case ActionAppInstall, ActionAppUninstall:
+			ev.App = genApps[src.Intn(len(genApps))]
+		case ActionReboot:
+			ev.Duration = Duration(time.Duration(1+src.Intn(15)) * time.Minute)
+		case ActionFaultBurst:
+			ev.Drop = float64(src.Intn(4)) * 0.05
+			ev.Reset = float64(src.Intn(4)) * 0.05
+			ev.Truncate = float64(src.Intn(4)) * 0.05
+			ev.ConnectFail = float64(src.Intn(4)) * 0.05
+			if ev.Drop+ev.Reset+ev.Truncate+ev.ConnectFail == 0 {
+				ev.Drop = 0.05
+			}
+		case ActionBandwidthRegime:
+			if src.Intn(2) == 0 {
+				ev.Regime = genRegimes[src.Intn(len(genRegimes))]
+			} else {
+				ev.Factor = 0.25 + float64(src.Intn(16))*0.25
+			}
+		}
+		s.Timeline = append(s.Timeline, ev)
+	}
+
+	// Tautological bounds: the generator asserts shape, not performance,
+	// so generated corpora never flake.
+	one := 1.0
+	zero := 0.0
+	s.Assert = []Assertion{
+		{Metric: "devices", Min: &one},
+		{Metric: "energy_without_mean", Min: &zero},
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario: generate: %w", err)
+	}
+	return s, nil
+}
+
+// genAt draws a whole-second instant in [0, horizon].
+func genAt(src *randx.Source, horizon time.Duration) Duration {
+	secs := int(horizon / time.Second)
+	return Duration(time.Duration(src.Intn(secs+1)) * time.Second)
+}
+
+// genDevices draws a selector across all four syntaxes.
+func genDevices(src *randx.Source, devices int) string {
+	switch src.Intn(4) {
+	case 0:
+		return "all"
+	case 1:
+		return fmt.Sprintf("%d", src.Intn(devices))
+	case 2:
+		lo := src.Intn(devices)
+		hi := lo + src.Intn(devices-lo)
+		return fmt.Sprintf("%d-%d", lo, hi)
+	default:
+		return fmt.Sprintf("every:%d", 1+src.Intn(4))
+	}
+}

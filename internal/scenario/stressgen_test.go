@@ -1,0 +1,97 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestGenerateDeterministic pins the generator's identity: equal
+// configs yield deeply equal scenarios, different seeds diverge.
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(GenConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(GenConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+	c, err := Generate(GenConfig{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha, _ := a.ConfigHash()
+	hc, _ := c.ConfigHash()
+	if ha == hc {
+		t.Errorf("seeds 7 and 8 generated identical scenarios")
+	}
+}
+
+// TestGenerateAlwaysValid sweeps seeds and engines: every generated
+// scenario must validate, round-trip through its encoding, and respect
+// the engine's action restrictions.
+func TestGenerateAlwaysValid(t *testing.T) {
+	for _, engine := range []string{EngineDirect, EngineLoopback} {
+		for seed := int64(0); seed < 25; seed++ {
+			s, err := Generate(GenConfig{Seed: seed, Engine: engine})
+			if err != nil {
+				t.Fatalf("engine %s seed %d: %v", engine, seed, err)
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("engine %s seed %d invalid: %v", engine, seed, err)
+			}
+			restarts := 0
+			for _, ev := range s.Timeline {
+				switch ev.Action {
+				case ActionFaultBurst, ActionServerRestart:
+					if engine == EngineDirect {
+						t.Fatalf("engine %s seed %d drew loopback action %s", engine, seed, ev.Action)
+					}
+					if ev.Action == ActionServerRestart {
+						restarts++
+					}
+				case ActionBandwidthRegime:
+					if engine == EngineLoopback {
+						t.Fatalf("engine %s seed %d drew direct action %s", engine, seed, ev.Action)
+					}
+				}
+			}
+			if restarts > 1 {
+				t.Fatalf("engine %s seed %d drew %d restarts", engine, seed, restarts)
+			}
+			encoded, err := s.EncodeJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := Parse(encoded)
+			if err != nil {
+				t.Fatalf("engine %s seed %d: generated scenario does not re-parse: %v", engine, seed, err)
+			}
+			if !reflect.DeepEqual(s, back) {
+				t.Fatalf("engine %s seed %d: encode/parse drifted", engine, seed)
+			}
+		}
+	}
+}
+
+func TestGenerateDefaults(t *testing.T) {
+	s, err := Generate(GenConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Fleet.Devices != 16 {
+		t.Errorf("default devices = %d, want 16", s.Fleet.Devices)
+	}
+	if len(s.Timeline) != 8 {
+		t.Errorf("default events = %d, want 8", len(s.Timeline))
+	}
+	if s.Engine != EngineLoopback {
+		t.Errorf("default engine = %q, want loopback", s.Engine)
+	}
+	if _, err := Generate(GenConfig{Seed: 1, Engine: "quantum"}); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}

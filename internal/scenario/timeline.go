@@ -1,0 +1,272 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"etrain/internal/bandwidth"
+	"etrain/internal/fleet"
+	"etrain/internal/heartbeat"
+	"etrain/internal/randx"
+	"etrain/internal/workload"
+)
+
+// bwEventNamespace salts the seed of resynthesized bandwidth tails so
+// they never alias the device's base channel stream.
+var bwEventNamespace = randx.DeriveString("etrain/scenario/bandwidth")
+
+// trainByName resolves a heartbeat app factory for app_install /
+// app_uninstall events.
+func trainByName(name string) (heartbeat.TrainApp, error) {
+	switch name {
+	case "qq":
+		return heartbeat.QQ(), nil
+	case "wechat":
+		return heartbeat.WeChat(), nil
+	case "whatsapp":
+		return heartbeat.WhatsApp(), nil
+	case "renren":
+		return heartbeat.RenRen(), nil
+	case "netease":
+		return heartbeat.NetEase(), nil
+	case "apns":
+		return heartbeat.APNS(), nil
+	default:
+		return heartbeat.TrainApp{}, fmt.Errorf("unknown heartbeat app %q (want qq, wechat, whatsapp, renren, netease or apns)", name)
+	}
+}
+
+// regimeByName resolves a named mobility regime for bandwidth_regime
+// events.
+func regimeByName(name string) (bandwidth.Regime, error) {
+	for _, r := range bandwidth.DefaultRegimes() {
+		if r.Name == name {
+			return r, nil
+		}
+	}
+	return bandwidth.Regime{}, fmt.Errorf("unknown bandwidth regime %q (want bus, walk or indoor)", name)
+}
+
+// trainSpec is one heartbeat app on a device's plan, with its scenario
+// lifecycle.
+type trainSpec struct {
+	app heartbeat.TrainApp
+	// uninstalledAt silences the app from that instant; < 0 means never.
+	uninstalledAt time.Duration
+}
+
+// cycleChange scales every heartbeat interval that starts at or after
+// its instant. Changes compose multiplicatively.
+type cycleChange struct {
+	at     time.Duration
+	factor float64
+}
+
+// window is a half-open outage interval [from, to).
+type window struct{ from, to time.Duration }
+
+// bwChange is one channel transform, applied to the remaining samples
+// in timeline order.
+type bwChange struct {
+	at     time.Duration
+	factor float64          // scale, when regime is zero
+	regime bandwidth.Regime // resynthesized tail, when Name != ""
+	index  int              // timeline position, salts the tail seed
+}
+
+// devicePlan accumulates a device's timeline transforms; build turns
+// it into the concrete beats, cargo and channel trace the run uses.
+type devicePlan struct {
+	dev     fleet.Device
+	horizon time.Duration
+
+	trains  []trainSpec
+	cycles  []cycleChange
+	reboots []window
+	bw      []bwChange
+}
+
+// planDevice synthesizes device i and applies the matching timeline
+// events to its plan.
+func planDevice(c *compiled, i int) (*devicePlan, error) {
+	dev, err := fleet.SynthesizeDevice(c.sc.Seed, c.pop, i, c.sc.Horizon.D())
+	if err != nil {
+		return nil, err
+	}
+	p := &devicePlan{dev: dev, horizon: dev.Horizon}
+	for _, t := range dev.Trains {
+		p.trains = append(p.trains, trainSpec{app: t, uninstalledAt: -1})
+	}
+	for _, ev := range c.events {
+		if !ev.match(i) {
+			continue
+		}
+		p.apply(ev)
+	}
+	return p, nil
+}
+
+// apply records one event on the plan. Transport-level actions
+// (fault_burst, server_restart) are handled by the loopback rig, not
+// here.
+func (p *devicePlan) apply(ev compiledEvent) {
+	at := ev.At.D()
+	switch ev.Action {
+	case ActionHeartbeatSchedule:
+		p.cycles = append(p.cycles, cycleChange{at: at, factor: ev.Factor})
+	case ActionAppInstall:
+		app, err := trainByName(ev.App)
+		if err != nil {
+			return // unreachable: compile validated the name
+		}
+		app.FirstAt = at
+		p.trains = append(p.trains, trainSpec{app: app, uninstalledAt: -1})
+	case ActionAppUninstall:
+		for i := range p.trains {
+			if p.trains[i].app.Name == ev.App && p.trains[i].uninstalledAt < 0 {
+				p.trains[i].uninstalledAt = at
+			}
+		}
+	case ActionReboot:
+		p.reboots = append(p.reboots, window{from: at, to: at + ev.Duration.D()})
+	case ActionBandwidthRegime:
+		ch := bwChange{at: at, factor: ev.Factor, index: ev.index}
+		if ev.Regime != "" {
+			ch.regime, _ = regimeByName(ev.Regime)
+		}
+		p.bw = append(p.bw, ch)
+	}
+}
+
+// plannedDevice is the concrete, post-timeline device: what the
+// baseline and eTrain runs both consume.
+type plannedDevice struct {
+	dev     fleet.Device
+	beats   []heartbeat.Beat
+	packets []workload.Packet
+	trace   *bandwidth.Trace
+}
+
+// build materializes the plan.
+func (p *devicePlan) build() (*plannedDevice, error) {
+	out := &plannedDevice{dev: p.dev}
+	for _, spec := range p.trains {
+		out.beats = append(out.beats, p.schedule(spec)...)
+	}
+	if len(p.reboots) > 0 {
+		out.beats = dropInWindows(out.beats, p.reboots)
+	}
+	sort.SliceStable(out.beats, func(i, j int) bool { return out.beats[i].At < out.beats[j].At })
+
+	out.packets = append([]workload.Packet(nil), p.dev.Packets...)
+	for _, w := range p.reboots {
+		for i := range out.packets {
+			if out.packets[i].ArrivedAt >= w.from && out.packets[i].ArrivedAt < w.to {
+				out.packets[i].ArrivedAt = w.to
+			}
+		}
+	}
+	if len(p.reboots) > 0 {
+		sort.SliceStable(out.packets, func(i, j int) bool { return out.packets[i].ArrivedAt < out.packets[j].ArrivedAt })
+		for i := range out.packets {
+			out.packets[i].ID = i
+		}
+		// A reboot at the horizon's edge can push arrivals past it; the
+		// engine would reject them, so they are lost with the outage.
+		for len(out.packets) > 0 && out.packets[len(out.packets)-1].ArrivedAt >= p.horizon {
+			out.packets = out.packets[:len(out.packets)-1]
+		}
+	}
+
+	trace, err := bandwidth.FromSeed(p.dev.BandwidthSeed, p.horizon, nil)
+	if err != nil {
+		return nil, err
+	}
+	if len(p.bw) > 0 {
+		if trace, err = p.transformTrace(trace); err != nil {
+			return nil, err
+		}
+	}
+	out.trace = trace
+	return out, nil
+}
+
+// schedule walks one train's policy, applying the composed cycle
+// factors to every interval that starts at or after each change, and
+// honoring the app's uninstall instant.
+func (p *devicePlan) schedule(spec trainSpec) []heartbeat.Beat {
+	var beats []heartbeat.Beat
+	at := spec.app.FirstAt
+	for i := 0; at < p.horizon; i++ {
+		if spec.uninstalledAt >= 0 && at >= spec.uninstalledAt {
+			break
+		}
+		beats = append(beats, heartbeat.Beat{At: at, App: spec.app.Name, Size: spec.app.PacketSize})
+		step := spec.app.Policy.IntervalAfter(i)
+		if step <= 0 {
+			break
+		}
+		for _, ch := range p.cycles {
+			if at >= ch.at {
+				step = time.Duration(float64(step) * ch.factor)
+			}
+		}
+		if step <= 0 {
+			break
+		}
+		at += step
+	}
+	return beats
+}
+
+// dropInWindows removes beats inside any outage window.
+func dropInWindows(beats []heartbeat.Beat, windows []window) []heartbeat.Beat {
+	kept := beats[:0]
+	for _, b := range beats {
+		lost := false
+		for _, w := range windows {
+			if b.At >= w.from && b.At < w.to {
+				lost = true
+				break
+			}
+		}
+		if !lost {
+			kept = append(kept, b)
+		}
+	}
+	return kept
+}
+
+// transformTrace applies the bandwidth changes in timeline order: each
+// change rewrites the samples from its instant on, either scaled by
+// factor or resynthesized under the named regime from a seed derived
+// from (device seed, event index).
+func (p *devicePlan) transformTrace(trace *bandwidth.Trace) (*bandwidth.Trace, error) {
+	samples := trace.Samples()
+	for _, ch := range p.bw {
+		from := int(ch.at / time.Second)
+		if from >= len(samples) {
+			continue
+		}
+		if ch.regime.Name == "" {
+			for i := from; i < len(samples); i++ {
+				samples[i] *= ch.factor
+				if samples[i] < 1e3 {
+					samples[i] = 1e3 // match the synthesizer's deep-fade floor
+				}
+			}
+			continue
+		}
+		tailLen := time.Duration(len(samples)-from) * time.Second
+		seed := randx.Derive(p.dev.Seed, bwEventNamespace, uint64(ch.index))
+		// The synthesizer needs ≥ 2 regimes to draw a switch target;
+		// duplicating the single regime pins the process to it.
+		tail, err := bandwidth.Synthesize(randx.New(seed), tailLen, []bandwidth.Regime{ch.regime, ch.regime})
+		if err != nil {
+			return nil, err
+		}
+		copy(samples[from:], tail.Samples())
+	}
+	return bandwidth.NewTrace(samples)
+}

@@ -1,0 +1,252 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file is a hand-written parser for the YAML subset scenario files
+// use: two-space block indentation, "key: value" mappings, "- " sequence
+// items (including inline-map items "- key: value"), full-line and
+// trailing "#" comments, double-quoted strings with Go escapes, and
+// bare scalars typed as bool/int/float/string. Anchors, aliases, flow
+// collections ("[...]", "{...}"), multi-line scalars and tab indentation
+// are rejected — a scenario that needs them should be written as JSON.
+// The parser produces the same map[string]any/[]any/scalar tree that
+// encoding/json produces, so both syntaxes funnel into one strict
+// decode.
+
+// yline is one significant (non-blank, non-comment) input line.
+type yline struct {
+	n      int // 1-based source line number
+	indent int
+	text   string
+}
+
+type yparser struct {
+	lines []yline
+}
+
+// parseYAML parses the subset into a JSON-shaped tree.
+func parseYAML(data []byte) (any, error) {
+	p := &yparser{}
+	for n, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimSuffix(raw, "\r")
+		trimmed := strings.TrimLeft(line, " \t")
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		if strings.ContainsRune(line[:len(line)-len(trimmed)], '\t') {
+			return nil, fmt.Errorf("scenario: line %d: tab indentation not allowed", n+1)
+		}
+		p.lines = append(p.lines, yline{n: n + 1, indent: len(line) - len(trimmed), text: trimmed})
+	}
+	if len(p.lines) == 0 {
+		return nil, fmt.Errorf("scenario: empty document")
+	}
+	if p.lines[0].indent != 0 {
+		return nil, fmt.Errorf("scenario: line %d: document must start at column 0", p.lines[0].n)
+	}
+	v, next, err := p.block(0, 0)
+	if err != nil {
+		return nil, err
+	}
+	if next != len(p.lines) {
+		return nil, fmt.Errorf("scenario: line %d: unexpected content after document", p.lines[next].n)
+	}
+	return v, nil
+}
+
+// block parses the run of sibling lines starting at i, all at exactly
+// the given indent, returning the parsed value and the index of the
+// first unconsumed line.
+func (p *yparser) block(i, indent int) (any, int, error) {
+	line := p.lines[i]
+	switch {
+	case isDashItem(line.text):
+		return p.sequence(i, indent)
+	case hasKey(line.text):
+		return p.mapping(i, indent)
+	default:
+		// A lone scalar is only valid as a nested value ("key:" followed
+		// by one more-indented line).
+		v, err := parseScalar(line.text, line.n)
+		if err != nil {
+			return nil, 0, err
+		}
+		return v, i + 1, nil
+	}
+}
+
+// sequence parses "- ..." items at the given indent.
+func (p *yparser) sequence(i, indent int) (any, int, error) {
+	out := []any{}
+	for i < len(p.lines) && p.lines[i].indent == indent {
+		line := p.lines[i]
+		if !isDashItem(line.text) {
+			return nil, 0, fmt.Errorf("scenario: line %d: expected a \"- \" sequence item", line.n)
+		}
+		rest := strings.TrimPrefix(strings.TrimPrefix(line.text, "-"), " ")
+		if rest == "" {
+			v, next, err := p.nested(i+1, indent)
+			if err != nil {
+				return nil, 0, err
+			}
+			out = append(out, v)
+			i = next
+			continue
+		}
+		// Inline item content: re-home it at the continuation column
+		// (indent + 2, where "- key: value" places the key) and parse a
+		// block from there, absorbing any following continuation lines.
+		p.lines[i] = yline{n: line.n, indent: indent + 2, text: rest}
+		v, next, err := p.block(i, indent+2)
+		if err != nil {
+			return nil, 0, err
+		}
+		out = append(out, v)
+		i = next
+	}
+	if i < len(p.lines) && p.lines[i].indent > indent {
+		return nil, 0, fmt.Errorf("scenario: line %d: unexpected indent", p.lines[i].n)
+	}
+	return out, i, nil
+}
+
+// mapping parses "key: value" entries at the given indent.
+func (p *yparser) mapping(i, indent int) (any, int, error) {
+	out := map[string]any{}
+	for i < len(p.lines) && p.lines[i].indent == indent {
+		line := p.lines[i]
+		if isDashItem(line.text) {
+			return nil, 0, fmt.Errorf("scenario: line %d: sequence item inside a mapping", line.n)
+		}
+		key, rest, err := splitKey(line.text, line.n)
+		if err != nil {
+			return nil, 0, err
+		}
+		if _, dup := out[key]; dup {
+			return nil, 0, fmt.Errorf("scenario: line %d: duplicate key %q", line.n, key)
+		}
+		if rest == "" {
+			v, next, err := p.nested(i+1, indent)
+			if err != nil {
+				return nil, 0, err
+			}
+			out[key] = v
+			i = next
+			continue
+		}
+		v, err := parseScalar(rest, line.n)
+		if err != nil {
+			return nil, 0, err
+		}
+		out[key] = v
+		i++
+	}
+	if i < len(p.lines) && p.lines[i].indent > indent {
+		return nil, 0, fmt.Errorf("scenario: line %d: unexpected indent", p.lines[i].n)
+	}
+	return out, i, nil
+}
+
+// nested parses the value block following a "key:" or "-" line: the
+// run of lines deeper than parentIndent, or null when the next line
+// dedents (an empty value).
+func (p *yparser) nested(i, parentIndent int) (any, int, error) {
+	if i >= len(p.lines) || p.lines[i].indent <= parentIndent {
+		return nil, i, nil
+	}
+	return p.block(i, p.lines[i].indent)
+}
+
+// isDashItem reports whether a line opens a sequence item.
+func isDashItem(text string) bool {
+	return text == "-" || strings.HasPrefix(text, "- ")
+}
+
+// hasKey reports whether a line looks like a mapping entry.
+func hasKey(text string) bool {
+	k := strings.IndexByte(text, ':')
+	return k > 0 && (k == len(text)-1 || text[k+1] == ' ')
+}
+
+// splitKey splits "key: rest" (or "key:"), validating the key is a
+// bare identifier-like token.
+func splitKey(text string, n int) (key, rest string, err error) {
+	k := strings.IndexByte(text, ':')
+	if k <= 0 || (k < len(text)-1 && text[k+1] != ' ') {
+		return "", "", fmt.Errorf("scenario: line %d: expected \"key: value\"", n)
+	}
+	key = text[:k]
+	if strings.ContainsAny(key, "\"'{}[]#&*!|>%@` ") {
+		return "", "", fmt.Errorf("scenario: line %d: unsupported key %q (bare keys only)", n, key)
+	}
+	rest = strings.TrimLeft(text[k+1:], " ")
+	if strings.HasPrefix(rest, "#") {
+		rest = ""
+	}
+	return key, rest, nil
+}
+
+// parseScalar types one scalar token: quoted string, bool, null,
+// integer, float, or bare string. A trailing " # comment" is stripped
+// outside quotes.
+func parseScalar(s string, n int) (any, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	if s[0] == '"' {
+		end := closingQuote(s)
+		if end < 0 {
+			return nil, fmt.Errorf("scenario: line %d: unterminated quoted string", n)
+		}
+		tail := strings.TrimSpace(s[end+1:])
+		if tail != "" && !strings.HasPrefix(tail, "#") {
+			return nil, fmt.Errorf("scenario: line %d: trailing content after string", n)
+		}
+		v, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			return nil, fmt.Errorf("scenario: line %d: bad string %s: %w", n, s[:end+1], err)
+		}
+		return v, nil
+	}
+	switch s[0] {
+	case '\'', '[', '{', '&', '*', '|', '>', '!', '@', '`':
+		return nil, fmt.Errorf("scenario: line %d: unsupported YAML syntax %q (subset: bare scalars, double-quoted strings, block maps and lists)", n, s)
+	}
+	if cut := strings.Index(s, " #"); cut >= 0 {
+		s = strings.TrimSpace(s[:cut])
+	}
+	switch s {
+	case "true":
+		return true, nil
+	case "false":
+		return false, nil
+	case "null", "~":
+		return nil, nil
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return i, nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f, nil
+	}
+	return s, nil
+}
+
+// closingQuote returns the index of the unescaped closing double quote,
+// or -1.
+func closingQuote(s string) int {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			return i
+		}
+	}
+	return -1
+}

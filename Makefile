@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz lint vet determinism bench-json bench-server fleet-smoke serve load chaos scenario clean
+.PHONY: all build test race fuzz lint vet determinism bench-json bench-server gate fleet-smoke serve load chaos scenario clean
 
 all: build test lint
 
@@ -26,7 +26,8 @@ vet:
 	$(GO) vet ./...
 
 # lint = go vet + the project analyzer suite (notime, norand, maporder,
-# units, ctxloop), plus staticcheck/govulncheck when available.
+# units, ctxloop, hotalloc, errflow, wirecanon), plus
+# staticcheck/govulncheck when available.
 lint: vet
 	$(GO) run ./cmd/etrain-vet ./...
 	@if command -v staticcheck >/dev/null 2>&1; then \
@@ -109,6 +110,20 @@ bench-server:
 		-benchtime $(BENCHTIME) ./internal/server ./internal/wire \
 		| $(GO) run ./cmd/etrain-benchjson -load /tmp/etrain-load-report.json > BENCH_server.json
 	@echo "wrote BENCH_server.json"
+
+# Benchmark regression gate: fresh runs of the fleet and server benchmark
+# suites are diffed against the checked-in BENCH_*.json baselines through
+# cmd/etrain-benchjson -gate. allocs/op and B/op more than GATETOL above
+# baseline fail the build; ns/op is reported but never gated (too
+# machine-dependent). Regenerate the baselines with `make bench-json
+# bench-server` after an intentional allocation change.
+GATETOL ?= 0.10
+gate:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./... \
+		| $(GO) run ./cmd/etrain-benchjson -gate BENCH_fleet.json -tolerance $(GATETOL)
+	$(GO) test -run '^$$' -bench 'BenchmarkServerThroughput|BenchmarkWireCodec' -benchmem \
+		-benchtime $(BENCHTIME) ./internal/server ./internal/wire \
+		| $(GO) run ./cmd/etrain-benchjson -gate BENCH_server.json -tolerance $(GATETOL)
 
 # End-to-end determinism check: full registry, sequential vs 8 workers,
 # byte-compared — same as the CI determinism job.

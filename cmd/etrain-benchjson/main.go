@@ -27,6 +27,17 @@
 // soak (throughput, latency percentiles, reconnect/resume/degraded-mode
 // healing counts) in one snapshot. Without -load the flat map is emitted
 // unchanged.
+//
+// With -gate FILE the tool becomes the repository's benchmark regression
+// gate: instead of emitting JSON it compares the fresh run on stdin
+// against the checked-in baseline FILE (either the flat map or the
+// two-section {"benchmarks": ...} shape) and exits non-zero if any
+// benchmark's allocs/op or B/op regressed beyond -tolerance (a fraction;
+// default 0.10). Wall-clock ns/op is reported for context but never
+// gated — it is too machine-dependent — while allocation counts are
+// deterministic and gate exactly. Benchmarks present on only one side are
+// reported but do not fail the gate, so adding a benchmark does not
+// require touching the baseline in the same change.
 package main
 
 import (
@@ -36,6 +47,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -49,11 +61,24 @@ type benchResult struct {
 
 func main() {
 	loadPath := flag.String("load", "", "etrain-load -json report to fold in alongside the benchmarks")
+	gatePath := flag.String("gate", "", "baseline JSON to gate the fresh run against; non-zero exit on regression")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional regression of allocs/op and B/op in -gate mode")
 	flag.Parse()
 	results, err := parseBench(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "etrain-benchjson:", err)
 		os.Exit(1)
+	}
+	if *gatePath != "" {
+		baseline, err := readBaseline(*gatePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "etrain-benchjson:", err)
+			os.Exit(2)
+		}
+		if !gate(os.Stdout, baseline, results, *tolerance) {
+			os.Exit(1)
+		}
+		return
 	}
 	var out any = results
 	if *loadPath != "" {
@@ -77,7 +102,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "etrain-benchjson:", err)
 		os.Exit(1)
 	}
-	os.Stdout.Write(append(data, '\n'))
+	if _, err := os.Stdout.Write(append(data, '\n')); err != nil {
+		fmt.Fprintln(os.Stderr, "etrain-benchjson:", err)
+		os.Exit(1)
+	}
 }
 
 // parseBench scans go-test benchmark output: "pkg:" header lines set the
@@ -130,6 +158,80 @@ func parseBench(r io.Reader) (map[string]benchResult, error) {
 		out[benchKey(pkg, fields[0])] = res
 	}
 	return out, sc.Err()
+}
+
+// readBaseline loads a checked-in benchmark snapshot: either the flat
+// {"pkg.Benchmark": {...}} map or the two-section {"benchmarks": ...}
+// shape BENCH_server.json uses.
+func readBaseline(path string) (map[string]benchResult, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var sectioned struct {
+		Benchmarks map[string]benchResult `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(raw, &sectioned); err == nil && len(sectioned.Benchmarks) > 0 {
+		return sectioned.Benchmarks, nil
+	}
+	var flat map[string]benchResult
+	if err := json.Unmarshal(raw, &flat); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return flat, nil
+}
+
+// gate compares fresh results against the baseline and writes a verdict
+// line per benchmark. It returns false if any allocs/op or B/op value
+// regressed beyond the tolerance fraction.
+func gate(w io.Writer, baseline, fresh map[string]benchResult, tolerance float64) bool {
+	keys := make([]string, 0, len(baseline))
+	for k := range baseline {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ok := true
+	matched := 0
+	for _, k := range keys {
+		base := baseline[k]
+		got, present := fresh[k]
+		if !present {
+			fmt.Fprintf(w, "SKIP %s: not in this run\n", k)
+			continue
+		}
+		matched++
+		allocsOK := withinGate(base.AllocsPerOp, got.AllocsPerOp, tolerance)
+		bytesOK := withinGate(base.BytesPerOp, got.BytesPerOp, tolerance)
+		verdict := "ok  "
+		if !allocsOK || !bytesOK {
+			verdict = "FAIL"
+			ok = false
+		}
+		fmt.Fprintf(w, "%s %s: allocs/op %.0f -> %.0f, B/op %.0f -> %.0f, ns/op %.0f -> %.0f (not gated)\n",
+			verdict, k, base.AllocsPerOp, got.AllocsPerOp,
+			base.BytesPerOp, got.BytesPerOp, base.NsPerOp, got.NsPerOp)
+	}
+	news := make([]string, 0, len(fresh))
+	for k := range fresh {
+		if _, present := baseline[k]; !present {
+			news = append(news, k)
+		}
+	}
+	sort.Strings(news)
+	for _, k := range news {
+		fmt.Fprintf(w, "NEW  %s: no baseline; regenerate the snapshot to start gating it\n", k)
+	}
+	if matched == 0 {
+		fmt.Fprintln(w, "FAIL gate: no benchmark in this run matches the baseline")
+		return false
+	}
+	return ok
+}
+
+// withinGate reports whether got is no worse than base by more than the
+// tolerance fraction. Improvements always pass.
+func withinGate(base, got, tolerance float64) bool {
+	return got <= base*(1+tolerance)
 }
 
 // benchKey joins the package path and the benchmark name, dropping the

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"strings"
 	"testing"
 )
@@ -58,5 +59,96 @@ func TestBenchKey(t *testing.T) {
 	}
 	if k := benchKey("p", "BenchmarkSub/case-a-8"); k != "p.BenchmarkSub/case-a" {
 		t.Errorf("benchKey = %q", k)
+	}
+}
+
+func TestGatePassesWithinTolerance(t *testing.T) {
+	baseline := map[string]benchResult{
+		"p.BenchmarkA": {NsPerOp: 100, BytesPerOp: 1000, AllocsPerOp: 10},
+	}
+	fresh := map[string]benchResult{
+		// 10% worse on both gated axes: exactly at the default tolerance.
+		"p.BenchmarkA": {NsPerOp: 500, BytesPerOp: 1100, AllocsPerOp: 11},
+	}
+	var out strings.Builder
+	if !gate(&out, baseline, fresh, 0.10) {
+		t.Fatalf("gate failed within tolerance:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "ok   p.BenchmarkA") {
+		t.Errorf("verdict line missing:\n%s", out.String())
+	}
+}
+
+func TestGateFailsOnAllocRegression(t *testing.T) {
+	baseline := map[string]benchResult{
+		"p.BenchmarkA": {NsPerOp: 100, BytesPerOp: 1000, AllocsPerOp: 10},
+		"p.BenchmarkB": {NsPerOp: 100, BytesPerOp: 1000, AllocsPerOp: 10},
+	}
+	fresh := map[string]benchResult{
+		"p.BenchmarkA": {NsPerOp: 100, BytesPerOp: 1000, AllocsPerOp: 12}, // 20% more allocs
+		"p.BenchmarkB": {NsPerOp: 100, BytesPerOp: 1000, AllocsPerOp: 10},
+	}
+	var out strings.Builder
+	if gate(&out, baseline, fresh, 0.10) {
+		t.Fatalf("gate passed a 20%% alloc regression:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL p.BenchmarkA") {
+		t.Errorf("regressed benchmark not named:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "ok   p.BenchmarkB") {
+		t.Errorf("healthy benchmark not passed:\n%s", out.String())
+	}
+}
+
+func TestGateFailsOnBytesRegression(t *testing.T) {
+	baseline := map[string]benchResult{"p.BenchmarkA": {BytesPerOp: 1000, AllocsPerOp: 10}}
+	fresh := map[string]benchResult{"p.BenchmarkA": {BytesPerOp: 2000, AllocsPerOp: 10}}
+	var out strings.Builder
+	if gate(&out, baseline, fresh, 0.10) {
+		t.Fatalf("gate passed a 2x bytes regression:\n%s", out.String())
+	}
+}
+
+func TestGateIgnoresNsPerOp(t *testing.T) {
+	baseline := map[string]benchResult{"p.BenchmarkA": {NsPerOp: 100, BytesPerOp: 1000, AllocsPerOp: 10}}
+	fresh := map[string]benchResult{"p.BenchmarkA": {NsPerOp: 10000, BytesPerOp: 1000, AllocsPerOp: 10}}
+	var out strings.Builder
+	if !gate(&out, baseline, fresh, 0.10) {
+		t.Fatalf("gate failed on wall-clock noise:\n%s", out.String())
+	}
+}
+
+func TestGateHandlesDisjointSets(t *testing.T) {
+	baseline := map[string]benchResult{"p.BenchmarkOld": {AllocsPerOp: 10}}
+	fresh := map[string]benchResult{"p.BenchmarkNew": {AllocsPerOp: 10}}
+	var out strings.Builder
+	if gate(&out, baseline, fresh, 0.10) {
+		t.Fatal("gate passed with zero matched benchmarks")
+	}
+	if !strings.Contains(out.String(), "SKIP p.BenchmarkOld") ||
+		!strings.Contains(out.String(), "NEW  p.BenchmarkNew") {
+		t.Errorf("disjoint sets not reported:\n%s", out.String())
+	}
+}
+
+func TestReadBaselineShapes(t *testing.T) {
+	dir := t.TempDir()
+	flat := dir + "/flat.json"
+	if err := os.WriteFile(flat, []byte(`{"p.BenchmarkA": {"allocs_per_op": 5}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sectioned := dir + "/sectioned.json"
+	if err := os.WriteFile(sectioned,
+		[]byte(`{"benchmarks": {"p.BenchmarkA": {"allocs_per_op": 5}}, "load": {"x": 1}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{flat, sectioned} {
+		got, err := readBaseline(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if got["p.BenchmarkA"].AllocsPerOp != 5 {
+			t.Errorf("%s: %+v", path, got)
+		}
 	}
 }

@@ -1,23 +1,29 @@
 // Command etrain-vet runs the project's static-analysis suite (see
-// internal/analysis): notime, norand, maporder, units and ctxloop — the
-// machine-checked invariants behind the repository's determinism and
-// unit-safety guarantees.
+// internal/analysis): notime, norand, maporder, units, ctxloop, hotalloc,
+// errflow and wirecanon — the machine-checked invariants behind the
+// repository's determinism, unit-safety, allocation and wire-canonicality
+// guarantees.
 //
 // Usage:
 //
 //	go run ./cmd/etrain-vet ./...
 //	go run ./cmd/etrain-vet ./internal/radio ./internal/sim/...
+//	go run ./cmd/etrain-vet -json ./...
 //	go run ./cmd/etrain-vet -list
 //
 // The tool loads every matched package with the standard library's
 // type-checker (no external dependencies), applies every analyzer, honours
 // //lint:ignore <check> <justification> directives, and exits non-zero if
-// any finding survives. Test files are outside its scope; the determinism
-// test suites cover those directly.
+// any finding survives. With -json the findings are emitted as a JSON
+// array of {file, line, column, analyzer, message} records, in the same
+// byte-stable (file, line, column, analyzer, message) order as the text
+// output, for editor and CI integration. Test files are outside its scope;
+// the determinism test suites cover those directly.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,9 +35,10 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of text lines")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: etrain-vet [-list] [packages]\n\npackages default to ./...\n\n")
+			"usage: etrain-vet [-list] [-json] [packages]\n\npackages default to ./...\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -42,13 +49,22 @@ func main() {
 		}
 		return
 	}
-	if err := run(flag.Args()); err != nil {
+	if err := run(flag.Args(), *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "etrain-vet:", err)
 		os.Exit(2)
 	}
 }
 
-func run(patterns []string) error {
+// finding is the JSON shape of one diagnostic.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func run(patterns []string, jsonOut bool) error {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -91,18 +107,43 @@ func run(patterns []string) error {
 
 	diags := analysis.Run(pkgs, analysis.All())
 	out := bufio.NewWriter(os.Stdout)
-	for _, d := range diags {
-		pos := d.Pos
-		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			pos.Filename = rel
+	if jsonOut {
+		findings := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			findings = append(findings, finding{
+				File:     relTo(cwd, d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
 		}
-		fmt.Fprintf(out, "%s:%d:%d: %s [%s]\n", pos.Filename, pos.Line, pos.Column, d.Message, d.Analyzer)
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			return err
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(out, "%s:%d:%d: %s [%s]\n",
+				relTo(cwd, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+		}
 	}
-	out.Flush()
+	if err := out.Flush(); err != nil {
+		return err
+	}
 	if len(diags) > 0 {
 		os.Exit(1)
 	}
 	return nil
+}
+
+// relTo renders filename relative to cwd when it lies beneath it.
+func relTo(cwd, filename string) string {
+	if rel, err := filepath.Rel(cwd, filename); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return filename
 }
 
 // findModule walks upward from dir to the enclosing go.mod and returns the

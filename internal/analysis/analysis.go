@@ -11,6 +11,11 @@
 //   - units:    no mW/W/J/s/ms mixing and no magic scale factors
 //   - ctxloop:  goroutines in the fan-out layers join and don't capture
 //     loop variables
+//   - hotalloc: no allocation-inducing constructs in the loops of
+//     //etrain:hotpath-annotated functions
+//   - errflow:  transport write errors are consumed, not dropped
+//   - wirecanon: wire frames use explicit big-endian fixed-width
+//     primitives and keyed message literals
 //
 // The cmd/etrain-vet driver runs every analyzer over the module; the
 // analysistest subpackage replays each analyzer against fixtures under
@@ -201,14 +206,19 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		// Message as the final key makes the ordering total: two analyzers
+		// reporting twice at one position always render byte-identically.
+		return a.Message < b.Message
 	})
 	return diags
 }
 
 // All returns the full eTrain analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{NoTime, NoRand, MapOrder, Units, CtxLoop}
+	return []*Analyzer{NoTime, NoRand, MapOrder, Units, CtxLoop, HotAlloc, ErrFlow, WireCanon}
 }
 
 // pathIsAny reports whether pkgPath equals one of the given import paths.

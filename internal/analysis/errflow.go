@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrFlow checks that transport write errors are consumed. The service
+// layer's durability story (DESIGN.md §11) depends on the first write
+// error of a connection being observed — checked, returned, or latched
+// through the session's emit/send journaling path — so the session can
+// park instead of silently losing frames. A dropped error from a
+// Write-family method on a wire.Writer, net.Conn, or any io.Writer
+// (an ExprStmt discarding the result, or an assignment to blank) breaks
+// that chain.
+var ErrFlow = &Analyzer{
+	Name: "errflow",
+	Doc: "flag dropped errors from Write-family methods on wire.Writer, " +
+		"net.Conn and io.Writer values",
+	Run: runErrFlow,
+}
+
+// writeFamily are the method names errflow patrols. Close and deadline
+// setters are deliberately out of scope: their errors are advisory on the
+// teardown path.
+var writeFamily = map[string]bool{
+	"Write": true, "WriteString": true, "WriteTo": true,
+	"ReadFrom": true, "Flush": true,
+}
+
+// ioWriterIface is a structural twin of io.Writer, built by hand so the
+// check needs no import of the io package under analysis.
+var ioWriterIface = types.NewInterfaceType([]*types.Func{
+	types.NewFunc(token.NoPos, nil, "Write", types.NewSignatureType(nil, nil, nil,
+		types.NewTuple(types.NewVar(token.NoPos, nil, "p", types.NewSlice(types.Typ[types.Byte]))),
+		types.NewTuple(
+			types.NewVar(token.NoPos, nil, "n", types.Typ[types.Int]),
+			types.NewVar(token.NoPos, nil, "err", types.Universe.Lookup("error").Type())),
+		false)),
+}, nil).Complete()
+
+func runErrFlow(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := stmt.X.(*ast.CallExpr); ok {
+					checkDroppedWrite(pass, call)
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range stmt.Rhs {
+					call, ok := rhs.(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					if allBlank(lhsFor(stmt, i, len(stmt.Rhs))) {
+						checkDroppedWrite(pass, call)
+					}
+				}
+			case *ast.GoStmt:
+				checkDroppedWrite(pass, stmt.Call)
+			case *ast.DeferStmt:
+				checkDroppedWrite(pass, stmt.Call)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// lhsFor returns the assignment's left-hand sides consuming the i-th
+// right-hand side: all of them for a single multi-value call, the i-th
+// otherwise.
+func lhsFor(stmt *ast.AssignStmt, i, nRhs int) []ast.Expr {
+	if nRhs == 1 {
+		return stmt.Lhs
+	}
+	if i < len(stmt.Lhs) {
+		return stmt.Lhs[i : i+1]
+	}
+	return nil
+}
+
+// allBlank reports whether every expression is the blank identifier.
+func allBlank(exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return len(exprs) > 0
+}
+
+// checkDroppedWrite reports call if it is a Write-family method on a
+// transport writer whose error result is being discarded.
+func checkDroppedWrite(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !writeFamily[sel.Sel.Name] {
+		return
+	}
+	selection := pass.TypesInfo.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return
+	}
+	if !returnsError(selection.Obj()) {
+		return
+	}
+	recv := selection.Recv()
+	if !isTransportWriter(recv) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"error from %s.%s is dropped; check it, return it, or latch it via the session's emit/send path",
+		types.TypeString(recv, types.RelativeTo(pass.Pkg)), sel.Sel.Name)
+}
+
+// returnsError reports whether the method's last result is an error.
+func returnsError(obj types.Object) bool {
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	last := res.At(res.Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+// isTransportWriter reports whether t is a transport-facing writer: the
+// module's wire.Writer, net.Conn, or anything satisfying io.Writer.
+func isTransportWriter(t types.Type) bool {
+	elem := t
+	if p, ok := elem.(*types.Pointer); ok {
+		elem = p.Elem()
+	}
+	if named, ok := elem.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			path := obj.Pkg().Path()
+			if obj.Name() == "Writer" && pathHasSuffix(path, "internal/wire") {
+				return true
+			}
+			if obj.Name() == "Conn" && path == "net" {
+				return true
+			}
+		}
+	}
+	return types.Implements(t, ioWriterIface) ||
+		types.Implements(types.NewPointer(t), ioWriterIface)
+}

@@ -1,0 +1,395 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// hotDirective is the annotation that opts a function (on its doc comment)
+// or a whole package (on the package clause's doc) into hotalloc's checks.
+const hotDirective = "//etrain:hotpath"
+
+// HotAlloc flags allocation-inducing constructs inside the loops of
+// functions annotated //etrain:hotpath — the per-slot, per-device and
+// per-frame paths whose allocation behavior the benchmark gate pins:
+//
+//   - append growing a slice declared in the same function without
+//     preallocated capacity;
+//   - fmt.Sprint/Sprintf/Sprintln calls and string concatenation;
+//   - map and slice composite literals built per iteration;
+//   - scalar arguments boxed into interface parameters at call sites;
+//   - closures capturing loop state (forcing a heap-allocated closure per
+//     iteration).
+//
+// Statements inside a return are exempt: error construction on the exit
+// path leaves the loop and is cold by definition. Intentional allocations
+// carry a //lint:ignore hotalloc directive with a justification.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "flag allocation-inducing constructs in the loops of functions " +
+		"annotated //etrain:hotpath",
+	Run: runHotAlloc,
+}
+
+// hasHotDirective reports whether a doc comment carries //etrain:hotpath.
+func hasHotDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == hotDirective {
+			return true
+		}
+	}
+	return false
+}
+
+func runHotAlloc(pass *Pass) error {
+	pkgHot := false
+	for _, f := range pass.Files {
+		if hasHotDirective(f.Doc) {
+			pkgHot = true
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !pkgHot && !hasHotDirective(fn.Doc) {
+				continue
+			}
+			w := &hotWalker{pass: pass, unprealloc: unpreallocatedSlices(pass, fn)}
+			w.walk(fn.Body, nil, false)
+		}
+	}
+	return nil
+}
+
+// unpreallocatedSlices collects the slice variables fn declares without
+// capacity: `var x []T`, `x := []T{}`, and `x := make([]T, 0)`. Appending
+// to one of these inside a loop regrows it allocation by allocation.
+func unpreallocatedSlices(pass *Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	note := func(id *ast.Ident) {
+		if obj := pass.TypesInfo.Defs[id]; obj != nil {
+			if _, ok := obj.Type().Underlying().(*types.Slice); ok {
+				out[obj] = true
+			}
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := v.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if len(vs.Values) == 0 || isUnpreallocated(pass, vs.Values[i]) {
+						note(name)
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if v.Tok != token.DEFINE || len(v.Lhs) != len(v.Rhs) {
+				return true
+			}
+			for i, lhs := range v.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || !isUnpreallocated(pass, v.Rhs[i]) {
+					continue
+				}
+				note(id)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isUnpreallocated reports whether e builds a slice with no usable
+// capacity: an empty slice literal, or make with no capacity argument and
+// a constant-zero length.
+func isUnpreallocated(pass *Pass, e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.CompositeLit:
+		_, isSlice := pass.TypesInfo.Types[v].Type.Underlying().(*types.Slice)
+		return isSlice && len(v.Elts) == 0
+	case *ast.CallExpr:
+		id, ok := v.Fun.(*ast.Ident)
+		if !ok || id.Name != "make" || len(v.Args) != 2 {
+			return false
+		}
+		if _, isSlice := pass.TypesInfo.Types[v].Type.Underlying().(*types.Slice); !isSlice {
+			return false
+		}
+		tv := pass.TypesInfo.Types[v.Args[1]]
+		return tv.Value != nil && tv.Value.String() == "0"
+	}
+	return false
+}
+
+// hotWalker walks one hot function's body tracking loop context.
+type hotWalker struct {
+	pass       *Pass
+	unprealloc map[types.Object]bool
+}
+
+// walk descends n with the enclosing loops' variables and whether n sits
+// inside a loop. Return statements reset the loop context: they leave the
+// loop, so whatever they build happens at most once per loop lifetime.
+func (w *hotWalker) walk(n ast.Node, loopVars []types.Object, inLoop bool) {
+	switch stmt := n.(type) {
+	case *ast.ForStmt:
+		vars := loopVars
+		if init, ok := stmt.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+			for _, lhs := range init.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := w.pass.TypesInfo.Defs[id]; obj != nil {
+						vars = append(vars, obj)
+					}
+				}
+			}
+		}
+		w.walk(stmt.Body, vars, true)
+		return
+	case *ast.RangeStmt:
+		vars := loopVars
+		for _, e := range []ast.Expr{stmt.Key, stmt.Value} {
+			if id, ok := e.(*ast.Ident); ok {
+				if obj := w.pass.TypesInfo.Defs[id]; obj != nil {
+					vars = append(vars, obj)
+				}
+			}
+		}
+		w.walk(stmt.Body, vars, true)
+		return
+	case *ast.ReturnStmt:
+		for _, res := range stmt.Results {
+			w.walk(res, nil, false)
+		}
+		return
+	case *ast.FuncLit:
+		if inLoop && capturesAny(w.pass, stmt, loopVars) {
+			w.pass.Reportf(stmt.Pos(),
+				"closure captures loop state and allocates per iteration; hoist it or pass values as arguments")
+		}
+		// The literal's own body starts a fresh loop context.
+		w.walk(stmt.Body, nil, false)
+		return
+	case *ast.AssignStmt:
+		if inLoop {
+			w.checkAssign(stmt)
+		}
+	case *ast.BinaryExpr:
+		if inLoop {
+			w.checkConcat(stmt)
+		}
+	case *ast.CompositeLit:
+		if inLoop {
+			w.checkCompositeLit(stmt)
+		}
+	case *ast.CallExpr:
+		if inLoop {
+			w.checkCall(stmt)
+		}
+	}
+	children(n, func(c ast.Node) {
+		w.walk(c, loopVars, inLoop)
+	})
+}
+
+// checkAssign flags `x = append(x, ...)` growing an unpreallocated slice,
+// and `s += ...` string concatenation.
+func (w *hotWalker) checkAssign(stmt *ast.AssignStmt) {
+	if stmt.Tok == token.ADD_ASSIGN && len(stmt.Lhs) == 1 && isStringExpr(w.pass, stmt.Lhs[0]) {
+		w.pass.Reportf(stmt.Pos(),
+			"string concatenation in a hot loop allocates per iteration; build into a reused []byte instead")
+		return
+	}
+	for i, rhs := range stmt.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isBuiltin(w.pass, call.Fun, "append") || i >= len(stmt.Lhs) {
+			continue
+		}
+		dst, ok := stmt.Lhs[i].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := w.pass.TypesInfo.Uses[dst]
+		if obj == nil {
+			obj = w.pass.TypesInfo.Defs[dst]
+		}
+		if obj != nil && w.unprealloc[obj] {
+			w.pass.Reportf(call.Pos(),
+				"append grows unpreallocated slice %s inside a hot loop; preallocate capacity or reuse a buffer",
+				dst.Name)
+		}
+	}
+}
+
+// checkConcat flags non-constant string concatenation in a loop.
+func (w *hotWalker) checkConcat(e *ast.BinaryExpr) {
+	if e.Op != token.ADD || !isStringExpr(w.pass, e) {
+		return
+	}
+	// Constant folding makes literal + literal free.
+	if tv, ok := w.pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+		return
+	}
+	w.pass.Reportf(e.Pos(),
+		"string concatenation in a hot loop allocates per iteration; build into a reused []byte instead")
+}
+
+// checkCompositeLit flags map and slice literals built per iteration.
+// Struct literals are value assignments and stay off the heap.
+func (w *hotWalker) checkCompositeLit(lit *ast.CompositeLit) {
+	t := w.pass.TypesInfo.Types[lit].Type
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Map:
+		w.pass.Reportf(lit.Pos(),
+			"map literal allocates per iteration of a hot loop; hoist it or reuse one map")
+	case *types.Slice:
+		w.pass.Reportf(lit.Pos(),
+			"slice literal allocates per iteration of a hot loop; hoist it or reuse a buffer")
+	}
+}
+
+// checkCall flags fmt.Sprint-family calls and scalar arguments boxed into
+// interface parameters.
+func (w *hotWalker) checkCall(call *ast.CallExpr) {
+	if name, ok := fmtSprintCall(w.pass, call); ok {
+		w.pass.Reportf(call.Pos(),
+			"fmt.%s in a hot loop allocates; format outside the loop or append to a reused buffer", name)
+		return
+	}
+	sig := callSignature(w.pass, call)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		param := paramAt(sig, i)
+		if param == nil {
+			break
+		}
+		if _, isIface := param.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := w.pass.TypesInfo.Types[arg].Type
+		if at == nil {
+			continue
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok &&
+			b.Info()&(types.IsNumeric|types.IsBoolean) != 0 {
+			w.pass.Reportf(arg.Pos(),
+				"scalar argument is boxed into an interface parameter per iteration; keep the parameter concrete or hoist the call")
+		}
+	}
+}
+
+// capturesAny reports whether the literal's body uses any of the loop
+// variables.
+func capturesAny(pass *Pass, lit *ast.FuncLit, loopVars []types.Object) bool {
+	if len(loopVars) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		for _, lv := range loopVars {
+			if obj == lv {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isStringExpr reports whether e's static type is a string.
+func isStringExpr(pass *Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.Types[e].Type
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isBuiltin reports whether fun is the named builtin.
+func isBuiltin(pass *Pass, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// fmtSprintCall reports whether call is fmt.Sprint, fmt.Sprintf or
+// fmt.Sprintln, returning the function name.
+func fmtSprintCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "fmt" {
+		return "", false
+	}
+	switch obj.Name() {
+	case "Sprint", "Sprintf", "Sprintln":
+		return obj.Name(), true
+	}
+	return "", false
+}
+
+// callSignature returns the call's function signature, or nil for builtins
+// and type conversions.
+func callSignature(pass *Pass, call *ast.CallExpr) *types.Signature {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	sig, _ := tv.Type.(*types.Signature)
+	return sig
+}
+
+// paramAt returns the type of the i-th argument's parameter, unrolling the
+// variadic tail.
+func paramAt(sig *types.Signature, i int) types.Type {
+	params := sig.Params()
+	if params.Len() == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= params.Len()-1 {
+		last := params.At(params.Len() - 1).Type()
+		if s, ok := last.(*types.Slice); ok {
+			return s.Elem()
+		}
+		return last
+	}
+	if i >= params.Len() {
+		return nil
+	}
+	return params.At(i).Type()
+}

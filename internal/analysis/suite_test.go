@@ -56,3 +56,28 @@ func TestScenarioPatrol(t *testing.T) {
 		[]*analysis.Analyzer{analysis.CtxLoop, analysis.NoTime, analysis.NoRand},
 		"etrain/internal/scenario")
 }
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), analysis.HotAlloc,
+		"hotalloc", "hotallocpkg")
+}
+
+func TestErrFlow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), analysis.ErrFlow,
+		"errflow")
+}
+
+func TestWireCanon(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), analysis.WireCanon,
+		"etrain/internal/wire", "wirecanonuse")
+}
+
+// TestSessionPathPatrol extends the union-fixture pattern to the new
+// checks: the session-processor stand-in carries hotalloc, errflow and
+// wirecanon violations on the same lines, the way the real replay path
+// faces every analyzer at once.
+func TestSessionPathPatrol(t *testing.T) {
+	analysistest.RunAll(t, analysistest.TestData(t),
+		[]*analysis.Analyzer{analysis.HotAlloc, analysis.ErrFlow, analysis.WireCanon},
+		"sessionpath")
+}

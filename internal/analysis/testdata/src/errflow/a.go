@@ -1,0 +1,75 @@
+// Package errflow exercises the dropped-transport-error analyzer: errors
+// from Write-family methods on wire.Writer, net.Conn and io.Writer values
+// must be checked, returned, or latched.
+package errflow
+
+import (
+	"net"
+
+	"etrain/internal/wire"
+)
+
+// sink implements io.Writer structurally.
+type sink struct{}
+
+// Write implements io.Writer.
+func (sink) Write(p []byte) (int, error) { return len(p), nil }
+
+func dropsFrameWrite(w *wire.Writer, m wire.Message) {
+	w.Write(m) // want `error from .*Writer\.Write is dropped`
+}
+
+func blanksFrameWrite(w *wire.Writer, m wire.Message) {
+	_ = w.Write(m) // want `error from .*Writer\.Write is dropped`
+}
+
+func dropsConnWrite(c net.Conn, b []byte) {
+	c.Write(b) // want `error from net\.Conn\.Write is dropped`
+}
+
+func blanksConnWrite(c net.Conn, b []byte) {
+	_, _ = c.Write(b) // want `error from net\.Conn\.Write is dropped`
+}
+
+func spawnsWrite(c net.Conn, b []byte) {
+	go c.Write(b) // want `error from net\.Conn\.Write is dropped`
+}
+
+func defersWrite(c net.Conn, b []byte) {
+	defer c.Write(b) // want `error from net\.Conn\.Write is dropped`
+}
+
+func dropsIOWrite(s sink, b []byte) {
+	s.Write(b) // want `error from sink\.Write is dropped`
+}
+
+// returned errors are consumed.
+func returnsErr(w *wire.Writer, m wire.Message) error {
+	return w.Write(m)
+}
+
+// checked errors are consumed.
+func checksErr(c net.Conn, b []byte) bool {
+	_, err := c.Write(b)
+	return err == nil
+}
+
+// latching into session state is the sanctioned journaling pattern.
+func latches(w *wire.Writer, m wire.Message) error {
+	var broken error
+	if err := w.Write(m); err != nil {
+		broken = err
+	}
+	return broken
+}
+
+// a justified drop survives with its reason on record.
+func justified(w *wire.Writer, m wire.Message) {
+	//lint:ignore errflow best-effort trailer on an already-broken conn
+	w.Write(m)
+}
+
+// Close and deadline errors are out of the analyzer's scope.
+func closes(c net.Conn) {
+	defer c.Close()
+}

@@ -1,0 +1,67 @@
+// Package wire stands in for the real frame codec: wirecanon holds it to
+// explicit big-endian fixed-width primitives and deterministic iteration.
+package wire
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+// Message is one protocol message.
+type Message interface{ MsgType() byte }
+
+// Hello is the handshake frame.
+type Hello struct {
+	DeviceID uint64
+	Seq      uint32
+}
+
+// MsgType implements Message.
+func (Hello) MsgType() byte { return 1 }
+
+// Bad carries a platform-sized counter into the frame layout.
+type Bad struct {
+	Count int // want `platform-sized type int`
+}
+
+// MsgType implements Message.
+func (Bad) MsgType() byte { return 2 }
+
+// cursor is an unexported decode helper; indexing with int is fine off
+// the frame layout.
+type cursor struct {
+	b   []byte
+	off int
+}
+
+// Writer frames messages onto a stream.
+type Writer struct{ w io.Writer }
+
+// Write encodes m as one canonical frame.
+func (fw *Writer) Write(m Message) error {
+	var buf [9]byte
+	buf[0] = m.MsgType()
+	binary.BigEndian.PutUint64(buf[1:], 0)
+	_, err := fw.w.Write(buf[:])
+	return err
+}
+
+// encodeNative reaches for reflection and the wrong byte order.
+func encodeNative(w io.Writer, v uint32) {
+	err := binary.Write(w, binary.LittleEndian, v) // want `binary.Write encodes through reflection` `binary.LittleEndian is not canonical`
+	_ = err
+}
+
+// encodeMap would leak map order into the byte stream.
+func encodeMap(dst []byte, fields map[string]uint64) []byte {
+	for k, v := range fields { // want `map iteration order is nondeterministic`
+		dst = append(dst, k...)
+		dst = binary.BigEndian.AppendUint64(dst, v)
+	}
+	return dst
+}
+
+// positional rebuilds a frame struct without field names.
+func positional(id uint64) Hello {
+	return Hello{id, 1} // want `unkeyed Hello literal`
+}

@@ -1,0 +1,106 @@
+// Package hotalloc exercises the hot-path allocation analyzer: only the
+// loops of //etrain:hotpath-annotated functions are patrolled, and each
+// allocation-inducing construct has its own diagnostic.
+package hotalloc
+
+import "fmt"
+
+// hot grows an unpreallocated slice and formats per iteration.
+//
+//etrain:hotpath
+func hot(items []int) []string {
+	var out []string
+	for _, it := range items {
+		out = append(out, fmt.Sprintf("%d", it)) // want `append grows unpreallocated slice out` `fmt.Sprintf in a hot loop`
+	}
+	return out
+}
+
+// boxes passes a scalar where an interface is expected.
+//
+//etrain:hotpath
+func boxes(vals []int) {
+	for _, v := range vals {
+		consume(v) // want `scalar argument is boxed into an interface parameter`
+	}
+}
+
+func consume(v any) { _ = v }
+
+// literals builds a map and a slice per iteration.
+//
+//etrain:hotpath
+func literals(vals []int) {
+	for _, v := range vals {
+		m := map[string]int{"k": v} // want `map literal allocates per iteration`
+		s := []int{v}               // want `slice literal allocates per iteration`
+		_, _ = m, s
+	}
+}
+
+// concats grows a string per iteration, both spellings.
+//
+//etrain:hotpath
+func concats(words []string) string {
+	s := ""
+	t := ""
+	for _, w := range words {
+		s += w    // want `string concatenation in a hot loop`
+		t = t + w // want `string concatenation in a hot loop`
+	}
+	return s + t
+}
+
+// captures closes over the loop counter.
+//
+//etrain:hotpath
+func captures(n int) {
+	for i := 0; i < n; i++ {
+		f := func() int { return i } // want `closure captures loop state`
+		_ = f()
+	}
+}
+
+// prealloc reserves capacity up front: append does not regrow it.
+//
+//etrain:hotpath
+func prealloc(items []int) []int {
+	out := make([]int, 0, len(items))
+	for _, it := range items {
+		out = append(out, it)
+	}
+	return out
+}
+
+// coldExit allocates only on the return path, which leaves the loop.
+//
+//etrain:hotpath
+func coldExit(items []int) error {
+	for _, it := range items {
+		if it < 0 {
+			return fmt.Errorf("negative %d", it)
+		}
+	}
+	return nil
+}
+
+// justified documents an intentional growth with a //lint:ignore.
+//
+//etrain:hotpath
+func justified(items []int) []string {
+	var out []string
+	for range items {
+		//lint:ignore hotalloc growth is amortized by the caller's buffer reuse
+		out = append(out, "x")
+	}
+	return out
+}
+
+// cold is not annotated: the same constructs produce no diagnostics.
+func cold(items []int) []string {
+	var out []string
+	for _, it := range items {
+		out = append(out, fmt.Sprintf("%d", it))
+	}
+	return out
+}

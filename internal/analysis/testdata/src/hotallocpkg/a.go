@@ -1,0 +1,14 @@
+// Package hotallocpkg is hot in its entirety: the annotation on the
+// package clause puts every function under hotalloc's patrol.
+//
+//etrain:hotpath
+package hotallocpkg
+
+// fold grows an unpreallocated slice without a function-level annotation.
+func fold(items []int) []int {
+	var out []int
+	for _, it := range items {
+		out = append(out, it) // want `append grows unpreallocated slice out`
+	}
+	return out
+}

@@ -1,0 +1,17 @@
+// Package sessionpath stands in for the server's session processor loop:
+// the combined hotalloc/errflow/wirecanon patrol faces it at once, the
+// way the real replay path faces the whole vet suite.
+package sessionpath
+
+import "etrain/internal/wire"
+
+// pump replays one batch of frames onto the transport.
+//
+//etrain:hotpath
+func pump(w *wire.Writer, ids []uint64) {
+	var pending []wire.Hello
+	for _, id := range ids {
+		pending = append(pending, wire.Hello{id, 0}) // want `append grows unpreallocated slice pending` `unkeyed Hello literal`
+		w.Write(pending[len(pending)-1])             // want `error from .*Writer\.Write is dropped`
+	}
+}

@@ -1,0 +1,21 @@
+// Package wirecanonuse builds wire frames from outside the wire package:
+// the keyed-literal rule follows the message types module-wide.
+package wirecanonuse
+
+import "etrain/internal/wire"
+
+// NewHello names every field.
+func NewHello(id uint64) wire.Hello {
+	return wire.Hello{DeviceID: id, Seq: 1}
+}
+
+// NewHelloPositional forgets the field names.
+func NewHelloPositional(id uint64) wire.Hello {
+	return wire.Hello{id, 1} // want `unkeyed Hello literal`
+}
+
+// justifiedPositional documents why the layout is mirrored on purpose.
+func justifiedPositional(id uint64) wire.Hello {
+	//lint:ignore wirecanon golden-frame test vector mirrors the layout
+	return wire.Hello{id, 1}
+}

@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// WireCanon checks that the wire protocol stays canonical: one byte
+// stream per message, independent of platform and process. Inside the
+// wire package it forbids the constructs that break that —
+// reflection-driven binary.Write/binary.Read, native or little-endian
+// byte orders, map iteration (nondeterministic field order), and
+// platform-sized int/uint struct fields whose width changes across
+// architectures. Module-wide it requires composite literals of wire
+// message types to be keyed, so a field reorder in the protocol structs
+// can never silently shuffle an encoder's arguments.
+var WireCanon = &Analyzer{
+	Name: "wirecanon",
+	Doc: "enforce explicit big-endian fixed-width encoding in internal/wire " +
+		"and keyed wire struct literals module-wide",
+	Run: runWireCanon,
+}
+
+func runWireCanon(pass *Pass) error {
+	inWire := pathHasSuffix(pass.Pkg.Path(), "internal/wire")
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.SelectorExpr:
+				if inWire {
+					checkBinaryOrder(pass, v)
+				}
+			case *ast.RangeStmt:
+				if inWire {
+					checkMapRange(pass, v)
+				}
+			case *ast.TypeSpec:
+				if inWire {
+					checkFieldWidths(pass, v)
+				}
+			case *ast.CompositeLit:
+				checkKeyedWireLit(pass, v)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBinaryOrder flags encoding/binary references that are not explicit
+// big-endian: binary.Write and binary.Read encode through reflection with
+// a caller-chosen order, and binary.LittleEndian / binary.NativeEndian
+// make the byte stream platform- or author-dependent.
+func checkBinaryOrder(pass *Pass, sel *ast.SelectorExpr) {
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "encoding/binary" {
+		return
+	}
+	switch obj.Name() {
+	case "Write", "Read":
+		pass.Reportf(sel.Pos(),
+			"binary.%s encodes through reflection; frames must use explicit big-endian fixed-width primitives",
+			obj.Name())
+	case "LittleEndian", "NativeEndian":
+		pass.Reportf(sel.Pos(),
+			"binary.%s is not canonical; the wire format is big-endian only", obj.Name())
+	}
+}
+
+// checkMapRange flags ranging over a map in the wire package: iteration
+// order would leak into the byte stream.
+func checkMapRange(pass *Pass, stmt *ast.RangeStmt) {
+	t := pass.TypesInfo.Types[stmt.X].Type
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); ok {
+		pass.Reportf(stmt.Pos(),
+			"map iteration order is nondeterministic; encode from an ordered slice instead")
+	}
+}
+
+// checkFieldWidths flags struct fields typed int or uint inside the wire
+// package: their width is platform-sized, so a frame layout built from
+// them is not fixed-width. Only exported types are frame structs;
+// unexported helpers (cursors, buffers) index with int as usual.
+func checkFieldWidths(pass *Pass, spec *ast.TypeSpec) {
+	if !spec.Name.IsExported() {
+		return
+	}
+	st, ok := spec.Type.(*ast.StructType)
+	if !ok {
+		return
+	}
+	for _, field := range st.Fields.List {
+		t := pass.TypesInfo.Types[field.Type].Type
+		if t == nil {
+			continue
+		}
+		b, ok := t.Underlying().(*types.Basic)
+		if !ok {
+			continue
+		}
+		if b.Kind() == types.Int || b.Kind() == types.Uint || b.Kind() == types.Uintptr {
+			pass.Reportf(field.Pos(),
+				"wire struct field has platform-sized type %s; use a fixed-width integer", b.Name())
+		}
+	}
+}
+
+// checkKeyedWireLit requires composite literals of wire message structs to
+// be keyed, module-wide: the frame layout is defined by field names, and
+// positional literals silently re-bind values when the protocol structs
+// evolve.
+func checkKeyedWireLit(pass *Pass, lit *ast.CompositeLit) {
+	if len(lit.Elts) == 0 {
+		return
+	}
+	t := pass.TypesInfo.Types[lit].Type
+	if t == nil {
+		return
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return
+	}
+	if _, isStruct := named.Underlying().(*types.Struct); !isStruct {
+		return
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !pathHasSuffix(obj.Pkg().Path(), "internal/wire") {
+		return
+	}
+	for _, elt := range lit.Elts {
+		if _, keyed := elt.(*ast.KeyValueExpr); !keyed {
+			pass.Reportf(lit.Pos(),
+				"unkeyed %s literal; wire struct literals must name their fields", obj.Name())
+			return
+		}
+	}
+}
+
+// pathHasSuffix reports whether pkgPath is suffix or ends with
+// "/"+suffix, so fixture twins of real packages match their exemptions.
+func pathHasSuffix(pkgPath, suffix string) bool {
+	return pkgPath == suffix || strings.HasSuffix(pkgPath, "/"+suffix)
+}

@@ -81,7 +81,10 @@ func Synthesize(src *randx.Source, duration time.Duration, regimes []Regime) (*T
 // server rebuilds the exact channel the client's synthesizer drew, so the
 // trace itself never crosses the wire.
 func FromSeed(seed int64, duration time.Duration, regimes []Regime) (*Trace, error) {
-	return Synthesize(randx.New(seed), duration, regimes)
+	// Synthesize consumes the source fully, so it can come from the pool.
+	src := randx.Acquire(seed)
+	defer src.Release()
+	return Synthesize(src, duration, regimes)
 }
 
 // sqrt1m returns sqrt(1 - c²), the innovation scale that gives an AR(1)

@@ -189,8 +189,8 @@ func cheapestSelect(q *sched.Queues, nextSlot time.Duration, limit int) []worklo
 		bestPhi := math.Inf(1)
 		bestApp := ""
 		bestID := 0
-		for _, app := range q.Apps() {
-			for _, p := range q.Packets(app) {
+		for _, app := range q.AppsView() {
+			for _, p := range q.View(app) {
 				if phi := p.Cost(nextSlot); phi < bestPhi {
 					bestPhi = phi
 					bestApp = app
@@ -215,7 +215,7 @@ func cheapestSelect(q *sched.Queues, nextSlot time.Duration, limit int) []worklo
 // marginal drift gain. nextSlot is t+1, the instant at which speculative
 // costs φ_u(t) are evaluated.
 func greedySelect(q *sched.Queues, nextSlot time.Duration, limit int) []workload.Packet {
-	apps := q.Apps()
+	apps := q.AppsView()
 
 	// P̄_i(t): speculative cost of the full queue, fixed for the slot.
 	pbar := make(map[string]float64, len(apps))
@@ -232,7 +232,9 @@ func greedySelect(q *sched.Queues, nextSlot time.Duration, limit int) []workload
 		bestID := 0
 		bestPhi := 0.0
 		for _, app := range apps {
-			for _, p := range q.Packets(app) {
+			// View is allocation-free; the queue is not mutated until the
+			// scan over every app completes below.
+			for _, p := range q.View(app) {
 				phi := p.Cost(nextSlot)
 				gain := (pbar[app]-claimed[app])*phi - phi*phi/2
 				if gain > bestGain {

@@ -63,12 +63,20 @@ type Device struct {
 // horizon) and is byte-compatible with what Run simulates.
 func SynthesizeDevice(fleetSeed int64, pop *workload.Population, index int, horizon time.Duration) (Device, error) {
 	seed := randx.Derive(fleetSeed, deviceNamespace, uint64(index))
-	src := randx.New(seed)
+	// Synthesis streams are short-lived and fully consumed here, so they
+	// come from the source pool: same bits as New/Split, no per-device
+	// generator-table allocations in the shard loop.
+	src := randx.Acquire(seed)
+	defer src.Release()
 	classIndex, class := pop.Pick(src.Float64())
 	trains := deviceTrains(src)
-	trace := workload.SynthesizeSession(src.Split(), fmt.Sprintf("device-%d", index), class, horizon)
+	sessSrc := src.SplitPooled()
+	trace := workload.SynthesizeSession(sessSrc, fmt.Sprintf("device-%d", index), class, horizon)
+	sessSrc.Release()
 	session := workload.PacketsFromTrace(trace, profile.Weibo(sessionDeadline))
-	background, err := workload.Generate(src.Split(), backgroundSpecs(class), horizon)
+	genSrc := src.SplitPooled()
+	background, err := workload.Generate(genSrc, backgroundSpecs(class), horizon)
+	genSrc.Release()
 	if err != nil {
 		return Device{}, err
 	}
@@ -105,6 +113,8 @@ func (d Device) SimConfig() (sim.Config, error) {
 // over identical heartbeat trains, cargo and bandwidth. Everything is
 // derived from (cfg.Seed, i) in a fixed draw order, so the outcome is a
 // pure function of the device's identity.
+//
+//etrain:hotpath
 func runDevice(cfg *Config, pop *workload.Population, i int) (deviceOutcome, error) {
 	dev, err := SynthesizeDevice(cfg.Seed, pop, i, cfg.Horizon)
 	if err != nil {

@@ -280,6 +280,8 @@ func haltOnly(err error) bool {
 
 // runShard simulates the devices of shard s and folds their outcomes, in
 // device-index order, into one aggregate.
+//
+//etrain:hotpath
 func runShard(cfg *Config, pop *workload.Population, s int) (*ShardAggregate, error) {
 	agg, err := newShardAggregate(s, len(cfg.Mix), cfg.SketchAlpha)
 	if err != nil {

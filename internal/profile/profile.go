@@ -19,7 +19,7 @@ import (
 )
 
 // Kind identifies one of the paper's profile families.
-type Kind int
+type Kind uint8
 
 // Profile families. The iota starts at one so the zero Kind is invalid and
 // cannot be confused with Mail.

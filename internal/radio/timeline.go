@@ -51,9 +51,25 @@ type Timeline struct {
 	txs []Transmission
 }
 
+// Reserve grows the timeline's capacity so at least n more transmissions
+// can be appended without reallocating — the simulation engine sizes the
+// timeline from its config before entering the slot loop.
+func (tl *Timeline) Reserve(n int) {
+	if n <= 0 {
+		return
+	}
+	if free := cap(tl.txs) - len(tl.txs); free < n {
+		grown := make([]Transmission, len(tl.txs), len(tl.txs)+n)
+		copy(grown, tl.txs)
+		tl.txs = grown
+	}
+}
+
 // Append adds a transmission. Transmissions must be appended in start order
 // and must not overlap the previous one; violations return an error because
 // they indicate a scheduler bug.
+//
+//etrain:hotpath
 func (tl *Timeline) Append(tx Transmission) error {
 	if tx.TxTime < 0 {
 		return fmt.Errorf("radio: negative transmission time %v", tx.TxTime)

@@ -9,6 +9,7 @@ package randx
 import (
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // Source is a deterministic random stream. It wraps math/rand with the
@@ -27,6 +28,33 @@ func New(seed int64) *Source {
 // determinism while decoupling consumers from each other's draw counts.
 func (s *Source) Split() *Source {
 	return New(s.rng.Int63())
+}
+
+// sourcePool recycles Sources: math/rand's generator carries a ~5 KB state
+// table whose allocation dominates fleet-scale synthesis (every device draws
+// a handful of short-lived streams). Reseeding fully resets the generator,
+// so a pooled Source's stream is bit-identical to a freshly built one.
+var sourcePool = sync.Pool{New: func() any { return New(0) }}
+
+// Acquire returns a pooled Source reset to the exact stream New(seed)
+// produces. Release it when the stream is fully consumed.
+func Acquire(seed int64) *Source {
+	s := sourcePool.Get().(*Source)
+	s.rng.Seed(seed)
+	return s
+}
+
+// Release returns s to the source pool. The caller must not use s (or any
+// value that retains it, like a PoissonProcess) afterwards.
+func (s *Source) Release() {
+	sourcePool.Put(s)
+}
+
+// SplitPooled is Split drawing the child from the source pool: the child
+// stream is bit-identical to Split's, but its state is recycled via
+// Release instead of garbage-collected.
+func (s *Source) SplitPooled() *Source {
+	return Acquire(s.rng.Int63())
 }
 
 // Derive mixes the given parts into seed with a splitmix64-style finalizer

@@ -26,6 +26,8 @@ func NewQueues() *Queues {
 
 // Add enqueues a packet into its app's queue, registering the app on first
 // use. Packets must be added in arrival order per app.
+//
+//etrain:hotpath
 func (q *Queues) Add(p workload.Packet) {
 	if _, ok := q.byApp[p.App]; !ok {
 		q.order = append(q.order, p.App)
@@ -39,6 +41,11 @@ func (q *Queues) Apps() []string {
 	copy(out, q.order)
 	return out
 }
+
+// AppsView returns the registered app names in registration order without
+// copying. Read-only, valid until the next Add that registers a new app —
+// the allocation-free variant of Apps for per-slot scheduling loops.
+func (q *Queues) AppsView() []string { return q.order }
 
 // Len returns the total number of queued packets.
 func (q *Queues) Len() int {
@@ -60,6 +67,12 @@ func (q *Queues) Packets(app string) []workload.Packet {
 	return out
 }
 
+// View returns app's queue in arrival order without copying. The returned
+// slice is read-only and valid only until the next mutation of the queue
+// set — it is the allocation-free variant of Packets for per-slot
+// scheduling loops.
+func (q *Queues) View(app string) []workload.Packet { return q.byApp[app] }
+
 // Each calls fn for every queued packet in deterministic order (apps in
 // registration order, packets in arrival order).
 func (q *Queues) Each(fn func(p workload.Packet)) {
@@ -71,26 +84,37 @@ func (q *Queues) Each(fn func(p workload.Packet)) {
 }
 
 // PopByID removes and returns the packet with the given ID from app's
-// queue. ok is false if no such packet is queued.
+// queue. ok is false if no such packet is queued. Removal compacts the
+// queue in place, reusing its backing array — Packets hands out copies,
+// so no caller observes the shift.
+//
+//etrain:hotpath
 func (q *Queues) PopByID(app string, id int) (workload.Packet, bool) {
 	pkts := q.byApp[app]
 	for i, p := range pkts {
 		if p.ID == id {
-			q.byApp[app] = append(pkts[:i:i], pkts[i+1:]...)
+			copy(pkts[i:], pkts[i+1:])
+			pkts[len(pkts)-1] = workload.Packet{}
+			q.byApp[app] = pkts[:len(pkts)-1]
 			return p, true
 		}
 	}
 	return workload.Packet{}, false
 }
 
-// PopHead removes and returns the head-of-line packet of app.
+// PopHead removes and returns the head-of-line packet of app, compacting
+// in place like PopByID so the queue's capacity is reused.
+//
+//etrain:hotpath
 func (q *Queues) PopHead(app string) (workload.Packet, bool) {
 	pkts := q.byApp[app]
 	if len(pkts) == 0 {
 		return workload.Packet{}, false
 	}
 	head := pkts[0]
-	q.byApp[app] = pkts[1:]
+	copy(pkts, pkts[1:])
+	pkts[len(pkts)-1] = workload.Packet{}
+	q.byApp[app] = pkts[:len(pkts)-1]
 	return head, true
 }
 

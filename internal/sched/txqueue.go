@@ -15,10 +15,17 @@ type TxQueue struct {
 	// enqueuedAt records when each packet entered Q_TX (for queueing
 	// statistics), parallel to packets.
 	enqueuedAt []time.Duration
+	// head indexes the current head-of-line entry. Pop advances it instead
+	// of re-slicing so the backing arrays are reused once the queue drains
+	// — the simulation engine drains Q_TX every slot, and sliding slices
+	// would otherwise force a fresh growth allocation per slot.
+	head int
 }
 
 // Inject appends the scheduler's selection Q*(t) to the transmission queue
 // in order.
+//
+//etrain:hotpath
 func (q *TxQueue) Inject(at time.Duration, selected []workload.Packet) {
 	q.packets = append(q.packets, selected...)
 	for range selected {
@@ -27,24 +34,33 @@ func (q *TxQueue) Inject(at time.Duration, selected []workload.Packet) {
 }
 
 // Len reports the queued packet count.
-func (q *TxQueue) Len() int { return len(q.packets) }
+func (q *TxQueue) Len() int { return len(q.packets) - q.head }
 
 // Pop removes and returns the head-of-line packet and its injection time.
+//
+//etrain:hotpath
 func (q *TxQueue) Pop() (workload.Packet, time.Duration, bool) {
-	if len(q.packets) == 0 {
+	if q.head == len(q.packets) {
+		if q.head > 0 {
+			// Drained: rewind onto the retained backing arrays.
+			q.packets = q.packets[:0]
+			q.enqueuedAt = q.enqueuedAt[:0]
+			q.head = 0
+		}
 		return workload.Packet{}, 0, false
 	}
-	p := q.packets[0]
-	at := q.enqueuedAt[0]
-	q.packets = q.packets[1:]
-	q.enqueuedAt = q.enqueuedAt[1:]
+	p := q.packets[q.head]
+	at := q.enqueuedAt[q.head]
+	// Release the reference so the drained entry does not pin its packet.
+	q.packets[q.head] = workload.Packet{}
+	q.head++
 	return p, at, true
 }
 
 // Peek returns the head-of-line packet without removing it.
 func (q *TxQueue) Peek() (workload.Packet, bool) {
-	if len(q.packets) == 0 {
+	if q.head == len(q.packets) {
 		return workload.Packet{}, false
 	}
-	return q.packets[0], true
+	return q.packets[q.head], true
 }

@@ -91,6 +91,8 @@ func (rp *Replayer) Done() bool { return rp.done }
 // emitting the resulting frames. A protocol or engine error is returned
 // wrapped with context; an emit error is returned exactly as emit
 // produced it.
+//
+//etrain:hotpath
 func (rp *Replayer) Apply(m wire.Message) error {
 	if rp.done {
 		return fmt.Errorf("server: %s frame after finish", m.MsgType())
@@ -161,15 +163,24 @@ func (rp *Replayer) finish(ack wire.Ack) error {
 	return nil
 }
 
-// flush emits and clears the buffered Decision frames.
+// flush emits and clears the buffered Decision frames. The pending slice's
+// backing array is retained across flushes so steady-state slots buffer
+// without allocating; the Entries slices themselves are freshly built per
+// decision because emit may journal the frame for resume replay.
+//
+//etrain:hotpath
 func (rp *Replayer) flush() error {
-	for len(rp.pending) > 0 {
-		d := rp.pending[0]
-		rp.pending = rp.pending[1:]
+	for i, d := range rp.pending {
 		if err := rp.emit(d); err != nil {
+			// The failed frame is dropped, matching the historical
+			// pop-then-emit order; later frames stay pending.
+			rp.pending = rp.pending[i+1:]
 			return err
 		}
 	}
-	rp.pending = nil
+	for i := range rp.pending {
+		rp.pending[i] = wire.Decision{}
+	}
+	rp.pending = rp.pending[:0]
 	return nil
 }

@@ -231,6 +231,8 @@ func (sess *session) complete() error {
 // writes. It never fails — a write error latches sess.broken so the
 // engine finishes the event cleanly and the session parks afterwards
 // with every frame journaled.
+//
+//etrain:hotpath
 func (sess *session) emit(m wire.Message) error {
 	sess.outSeq++
 	if sess.outSeq <= sess.skipTo {
@@ -243,6 +245,8 @@ func (sess *session) emit(m wire.Message) error {
 
 // send writes m on the current conn unless it is already broken,
 // latching the first error.
+//
+//etrain:hotpath
 func (sess *session) send(m wire.Message) {
 	if sess.broken != nil {
 		return

@@ -16,7 +16,7 @@ package sim
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"etrain/internal/bandwidth"
@@ -256,6 +256,17 @@ type Engine struct {
 	busyUntil  time.Duration
 	finished   bool
 
+	// ctx is the slot context handed to the strategy, reused across slots
+	// so the hot loop performs no per-slot allocation. Strategies must not
+	// retain it past Schedule (the sched.Strategy contract).
+	ctx sched.SlotContext
+	// estimateAt is the instant the shared estimator closure in ctx reads;
+	// step updates it instead of allocating a fresh closure per slot.
+	estimateAt time.Duration
+	// events is the slot's transmission interleaving buffer, reused across
+	// slots.
+	events []txEvent
+
 	// OnSlot, when non-nil, observes every executed slot (and the final
 	// flush) as it happens. Run leaves it nil; a server session uses it to
 	// turn slot outcomes into Decision frames.
@@ -279,16 +290,33 @@ func NewEngine(cfg Config) (*Engine, error) {
 		slot = time.Second
 	}
 	timeline := &radio.Timeline{}
-	return &Engine{
+	// Preallocate the engine's steady state from the config: every beat and
+	// packet becomes at most one transmission, so sizing the timeline and
+	// the result's packet record up front keeps the slot loop free of
+	// growth reallocations.
+	timeline.Reserve(len(beats) + len(cfg.Packets))
+	res := &Result{Strategy: cfg.Strategy.Name(), Timeline: timeline}
+	res.Packets = make([]PacketStat, 0, len(cfg.Packets))
+	e := &Engine{
 		cfg:      cfg,
 		slot:     slot,
 		queues:   sched.NewQueues(),
 		txQueue:  &sched.TxQueue{},
 		timeline: timeline,
-		res:      &Result{Strategy: cfg.Strategy.Name(), Timeline: timeline},
+		res:      res,
 		beats:    beats,
 		packets:  cfg.Packets,
-	}, nil
+	}
+	e.ctx = sched.SlotContext{
+		SlotLength:    slot,
+		Queues:        e.queues,
+		MeanBandwidth: cfg.Bandwidth.Mean(),
+	}
+	if cfg.Estimator != nil {
+		// One closure for the engine's lifetime; step repoints estimateAt.
+		e.ctx.EstimateBandwidth = func() float64 { return e.cfg.Estimator.Estimate(e.estimateAt) }
+	}
+	return e, nil
 }
 
 // Now returns the start instant of the next unexecuted slot.
@@ -303,6 +331,8 @@ func (e *Engine) Finished() bool { return e.finished }
 // AddBeat appends one heartbeat departure. Beats must arrive in
 // non-decreasing time order and must not predate the next unexecuted slot
 // — a beat the batch run would already have consumed cannot be replayed.
+//
+//etrain:hotpath
 func (e *Engine) AddBeat(b heartbeat.Beat) error {
 	if e.finished {
 		return fmt.Errorf("sim: beat after Finish")
@@ -319,6 +349,8 @@ func (e *Engine) AddBeat(b heartbeat.Beat) error {
 
 // AddPacket appends one cargo arrival. Packets must arrive in
 // non-decreasing time order and must not predate the next unexecuted slot.
+//
+//etrain:hotpath
 func (e *Engine) AddPacket(p workload.Packet) error {
 	if e.finished {
 		return fmt.Errorf("sim: packet after Finish")
@@ -337,6 +369,8 @@ func (e *Engine) AddPacket(p workload.Packet) error {
 // horizon). The caller guarantees all events up to upTo have been added;
 // an event stream fed in time order satisfies this by advancing to each
 // event's instant after adding it.
+//
+//etrain:hotpath
 func (e *Engine) Advance(upTo time.Duration) error {
 	if e.finished {
 		return fmt.Errorf("sim: advance after Finish")
@@ -396,6 +430,8 @@ func (e *Engine) Finish() (*Result, error) {
 
 // transmit serializes one transmission on the radio link, queueing behind
 // the current one if the link is busy.
+//
+//etrain:hotpath
 func (e *Engine) transmit(at time.Duration, size int64, kind radio.TxKind, app string) (time.Duration, error) {
 	start := at
 	if e.busyUntil > start {
@@ -413,6 +449,8 @@ func (e *Engine) transmit(at time.Duration, size int64, kind radio.TxKind, app s
 }
 
 // recordData appends one data packet's fate to the result.
+//
+//etrain:hotpath
 func (e *Engine) recordData(p workload.Packet, start time.Duration, forced bool) {
 	e.res.Packets = append(e.res.Packets, PacketStat{
 		ID: p.ID, App: p.App, Size: p.Size,
@@ -423,9 +461,40 @@ func (e *Engine) recordData(p workload.Packet, start time.Duration, forced bool)
 	})
 }
 
+// txEvent is one transmission candidate of a slot: a heartbeat at its
+// departure instant or a Q_TX drain from its injection instant.
+type txEvent struct {
+	at   time.Duration
+	size int64
+	kind radio.TxKind
+	app  string
+	pkt  workload.Packet
+}
+
+// cmpTxEvent orders a slot's transmissions by instant, heartbeats first at
+// equal instants so data rides the heartbeat's tail.
+func cmpTxEvent(a, b txEvent) int {
+	switch {
+	case a.at < b.at:
+		return -1
+	case a.at > b.at:
+		return 1
+	}
+	ah, bh := a.kind == radio.TxHeartbeat, b.kind == radio.TxHeartbeat
+	switch {
+	case ah && !bh:
+		return -1
+	case bh && !ah:
+		return 1
+	}
+	return 0
+}
+
 // step executes the slot starting at e.slotStart. This is the body of
 // Run's original loop, verbatim: ingest arrivals, collect departures, ask
 // the strategy, inject into Q_TX, interleave on the serialized link.
+//
+//etrain:hotpath
 func (e *Engine) step() error {
 	slotStart := e.slotStart
 	slotEnd := slotStart + e.slot
@@ -445,20 +514,14 @@ func (e *Engine) step() error {
 	slotBeats := e.beats[e.nextBeat:beatEnd]
 	e.nextBeat = beatEnd
 
-	ctx := &sched.SlotContext{
-		Now:           slotStart,
-		SlotLength:    e.slot,
-		HeartbeatNow:  len(slotBeats) > 0,
-		Beats:         slotBeats,
-		Queues:        e.queues,
-		MeanBandwidth: e.cfg.Bandwidth.Mean(),
-	}
-	if e.cfg.Estimator != nil {
-		at := slotStart
-		ctx.EstimateBandwidth = func() float64 { return e.cfg.Estimator.Estimate(at) }
-	}
+	// The slot context is reused across slots; only the slot-varying
+	// fields are rewritten here (see NewEngine for the fixed ones).
+	e.ctx.Now = slotStart
+	e.ctx.HeartbeatNow = len(slotBeats) > 0
+	e.ctx.Beats = slotBeats
+	e.estimateAt = slotStart
 
-	selected := e.cfg.Strategy.Schedule(ctx)
+	selected := e.cfg.Strategy.Schedule(&e.ctx)
 	// Q*(t) is injected into the FIFO transmission queue Q_TX, whose
 	// head-of-line packet transmits whenever the radio is free (§IV).
 	e.txQueue.Inject(slotStart, selected)
@@ -466,33 +529,22 @@ func (e *Engine) step() error {
 	// Interleave heartbeats (at their departure instants) and Q_TX
 	// drains (from their injection instants) on the serialized link. A
 	// heartbeat departing exactly at the slot start goes first so data
-	// rides its tail.
-	type txEvent struct {
-		at   time.Duration
-		size int64
-		kind radio.TxKind
-		app  string
-		pkt  workload.Packet
-	}
-	events := make([]txEvent, 0, len(slotBeats)+e.txQueue.Len())
+	// rides its tail. The buffer is reused across slots and the stable
+	// sort is reflection-free, so a quiet slot allocates nothing.
+	e.events = e.events[:0]
 	for _, b := range slotBeats {
-		events = append(events, txEvent{at: b.At, size: b.Size, kind: radio.TxHeartbeat, app: b.App})
+		e.events = append(e.events, txEvent{at: b.At, size: b.Size, kind: radio.TxHeartbeat, app: b.App})
 	}
 	for {
 		p, injectedAt, ok := e.txQueue.Pop()
 		if !ok {
 			break
 		}
-		events = append(events, txEvent{at: injectedAt, size: p.Size, kind: radio.TxData, app: p.App, pkt: p})
+		e.events = append(e.events, txEvent{at: injectedAt, size: p.Size, kind: radio.TxData, app: p.App, pkt: p})
 	}
-	sort.SliceStable(events, func(i, j int) bool {
-		if events[i].at != events[j].at {
-			return events[i].at < events[j].at
-		}
-		return events[i].kind == radio.TxHeartbeat && events[j].kind != radio.TxHeartbeat
-	})
+	slices.SortStableFunc(e.events, cmpTxEvent)
 	dataFrom := len(e.res.Packets)
-	for _, ev := range events {
+	for _, ev := range e.events {
 		start, err := e.transmit(ev.at, ev.size, ev.kind, ev.app)
 		if err != nil {
 			return err

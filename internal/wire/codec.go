@@ -21,6 +21,8 @@ const maxEntries = (MaxPayload - 11) / 16
 // Append encodes m as one frame appended to dst and returns the extended
 // slice. Encoding is total on well-formed messages; it fails only on
 // overlong strings or entry lists.
+//
+//etrain:hotpath
 func Append(dst []byte, m Message) ([]byte, error) {
 	frameFrom := len(dst)
 	dst = append(dst, 0, 0, 0, 0, Version, byte(m.MsgType()))
@@ -97,6 +99,8 @@ func Encode(m Message) ([]byte, error) {
 // length is checked before use, the declared payload must be entirely
 // consumed, and the frame is rejected if it is not the canonical encoding
 // of the returned message.
+//
+//etrain:hotpath
 func Decode(b []byte) (Message, int, error) {
 	if len(b) < headerSize {
 		return nil, 0, fmt.Errorf("wire: short frame header: %d bytes", len(b))
@@ -267,6 +271,34 @@ func (d *decoder) str() string {
 	if b == nil {
 		return ""
 	}
+	return intern(b)
+}
+
+// internTable holds the canonical spellings of the app names that appear in
+// virtually every frame of a session stream (the heartbeat trains of
+// internal/heartbeat and the cargo apps of internal/workload). The table is
+// fixed at init, never grown from wire input, so hostile streams cannot
+// inflate it.
+var internTable = map[string]string{
+	"qq":       "qq",
+	"wechat":   "wechat",
+	"whatsapp": "whatsapp",
+	"renren":   "renren",
+	"netease":  "netease",
+	"apns":     "apns",
+	"mail":     "mail",
+	"weibo":    "weibo",
+	"cloud":    "cloud",
+}
+
+// intern returns the canonical string for b, avoiding an allocation for the
+// well-known app names that dominate decoded frames. Unknown names are
+// copied as usual.
+func intern(b []byte) string {
+	// The map index with a string(b) key does not allocate.
+	if s, ok := internTable[string(b)]; ok {
+		return s
+	}
 	return string(b)
 }
 
@@ -334,6 +366,8 @@ func NewReader(r io.Reader) *Reader {
 // clean frame boundary; a stream that ends (or errors) mid-frame yields an
 // error matching ErrTruncated (and io.ErrUnexpectedEOF) — never a hang and
 // never a misparse of the partial bytes.
+//
+//etrain:hotpath
 func (fr *Reader) Next() (Message, error) {
 	if n, err := io.ReadFull(fr.r, fr.header[:]); err != nil {
 		if n == 0 && err == io.EOF {
@@ -379,6 +413,8 @@ func NewWriter(w io.Writer) *Writer {
 // are retried until the frame is fully delivered, so the byte stream
 // stays canonical regardless of how the underlying writer chunks; a short
 // write with no progress at all is reported as io.ErrShortWrite.
+//
+//etrain:hotpath
 func (fw *Writer) Write(m Message) error {
 	b, err := Append(fw.buf[:0], m)
 	if err != nil {

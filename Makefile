@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz lint vet determinism bench-json bench-server gate fleet-smoke serve load chaos scenario clean
+.PHONY: all build test race fuzz lint vet determinism bench-json bench-server bench-cluster gate fleet-smoke serve load chaos scenario cluster clean
 
 all: build test lint
 
@@ -99,6 +99,29 @@ scenario:
 	diff -u /tmp/etrain-scenario-w1.txt /tmp/etrain-scenario-w8.txt
 	! /tmp/etrain-sim run -theta 0 scenarios/clean-baseline.yaml >/dev/null
 
+# Cluster suite, same as the CI cluster job: the control-plane package
+# under the race detector — ring determinism and ~1/N movement,
+# controller membership/drain/sweep, the in-process failover
+# zero-decision-loss test — then the 3-process smoke: a real controller
+# and three race-instrumented etraind shards serve an etrain-load
+# -cluster fleet while one shard is SIGKILLed mid-run; every session
+# must still complete and the fleet-wide merged stats block must be
+# byte-identical to a single-process run of the same fleet.
+cluster:
+	$(GO) test -race ./internal/cluster -count=1
+	bash scripts/cluster-smoke.sh
+
+# Cluster benchmark snapshot: the ring and fleet-fold microbenchmarks
+# plus a live 3-shard failover smoke folded in under the "load" key, so
+# BENCH_cluster.json records cluster throughput, reroutes and
+# failover-recovery latency percentiles alongside allocation counts.
+bench-cluster:
+	CLUSTER_JSON=/tmp/etrain-cluster-report.json bash scripts/cluster-smoke.sh >/dev/null
+	$(GO) test -run '^$$' -bench 'BenchmarkRingOwner|BenchmarkBuildRing|BenchmarkFleetStatsAdd' -benchmem \
+		-benchtime $(BENCHTIME) ./internal/cluster \
+		| $(GO) run ./cmd/etrain-benchjson -load /tmp/etrain-cluster-report.json > BENCH_cluster.json
+	@echo "wrote BENCH_cluster.json"
+
 # Service-layer benchmark snapshot (BenchmarkServerThroughput +
 # BenchmarkWireCodec) through cmd/etrain-benchjson into BENCH_server.json,
 # with a fault-injected load soak folded in under the "load" key so the
@@ -124,6 +147,9 @@ gate:
 	$(GO) test -run '^$$' -bench 'BenchmarkServerThroughput|BenchmarkWireCodec' -benchmem \
 		-benchtime $(BENCHTIME) ./internal/server ./internal/wire \
 		| $(GO) run ./cmd/etrain-benchjson -gate BENCH_server.json -tolerance $(GATETOL)
+	$(GO) test -run '^$$' -bench 'BenchmarkRingOwner|BenchmarkBuildRing|BenchmarkFleetStatsAdd' -benchmem \
+		-benchtime $(BENCHTIME) ./internal/cluster \
+		| $(GO) run ./cmd/etrain-benchjson -gate BENCH_cluster.json -tolerance $(GATETOL)
 
 # End-to-end determinism check: full registry, sequential vs 8 workers,
 # byte-compared — same as the CI determinism job.
@@ -137,5 +163,5 @@ clean:
 	$(GO) clean ./...
 	rm -f /tmp/etrain-experiments /tmp/etrain-seq.txt /tmp/etrain-par.txt
 	rm -f /tmp/etrain-fleet /tmp/etrain-fleet-w1.txt /tmp/etrain-fleet-w8.txt
-	rm -f /tmp/etrain-load-report.json
+	rm -f /tmp/etrain-load-report.json /tmp/etrain-cluster-report.json
 	rm -f /tmp/etrain-sim /tmp/etrain-scenario-w1.txt /tmp/etrain-scenario-w8.txt

@@ -1,0 +1,251 @@
+// Command etrain-ctl is the cluster admin CLI: it drives a controller's
+// ops HTTP surface (etraind -control ... -ops ...) from scripts and
+// terminals (DESIGN.md §13).
+//
+// Usage:
+//
+//	etrain-ctl -ops http://127.0.0.1:4801 status
+//	etrain-ctl -ops http://127.0.0.1:4801 shards
+//	etrain-ctl -ops http://127.0.0.1:4801 sessions
+//	etrain-ctl -ops http://127.0.0.1:4801 drain 2
+//	etrain-ctl -ops http://127.0.0.1:4801 wait shards=3
+//	etrain-ctl -ops http://127.0.0.1:4801 wait deaths=1 -timeout 30s
+//
+// status prints the controller's view — epoch, ring parameters, every
+// registered shard with its beat age and draining flag. shards is the
+// same table without the header, one line per shard, for awk-style
+// scripting. sessions prints the fleet-wide merged counter totals.
+// drain N removes shard N from the route table while its registration
+// (and in-flight sessions) stay alive. wait COND polls the controller
+// until COND holds or -timeout expires, for CI scripts that must not
+// race cluster formation: COND is field=N (meaning >= N) over shards,
+// deaths, drains, epoch, watchers, or accepted (the fleet-wide
+// sessions-accepted total, fed by shard stats beats — the cluster smoke
+// uses it to time a mid-run kill). Flags precede the command:
+//
+//	etrain-ctl -ops http://127.0.0.1:4801 -timeout 10s wait deaths=1
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// status mirrors cluster.Status; decoded loosely so the CLI does not
+// need the internal package (and keeps working across field additions).
+type status struct {
+	Epoch    uint64        `json:"Epoch"`
+	RingSeed int64         `json:"RingSeed"`
+	Vnodes   int           `json:"Vnodes"`
+	Watchers int           `json:"Watchers"`
+	Deaths   uint64        `json:"Deaths"`
+	Drains   uint64        `json:"Drains"`
+	Shards   []shardStatus `json:"Shards"`
+}
+
+type shardStatus struct {
+	ID        uint64 `json:"ID"`
+	Addr      string `json:"Addr"`
+	Draining  bool   `json:"Draining"`
+	BeatSeq   uint64 `json:"BeatSeq"`
+	Beats     uint64 `json:"Beats"`
+	BeatAgeMS int64  `json:"BeatAgeMS"`
+}
+
+func main() {
+	ops := flag.String("ops", "http://127.0.0.1:4801", "controller ops HTTP base URL")
+	timeout := flag.Duration("timeout", 30*time.Second, "wait deadline (wait command)")
+	flag.Parse()
+	if err := run(*ops, *timeout, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "etrain-ctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ops string, timeout time.Duration, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: etrain-ctl [-ops URL] status|shards|sessions|drain N|wait COND")
+	}
+	base := strings.TrimRight(ops, "/")
+	switch args[0] {
+	case "status":
+		st, err := getStatus(base)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("epoch    %d\n", st.Epoch)
+		fmt.Printf("ring     seed %d, %d vnodes/shard\n", st.RingSeed, st.Vnodes)
+		fmt.Printf("shards   %d registered, %d watchers, %d deaths, %d drains\n",
+			len(st.Shards), st.Watchers, st.Deaths, st.Drains)
+		printShards(st.Shards)
+		return nil
+	case "shards":
+		st, err := getStatus(base)
+		if err != nil {
+			return err
+		}
+		printShards(st.Shards)
+		return nil
+	case "sessions":
+		body, err := get(base + "/sessions")
+		if err != nil {
+			return err
+		}
+		// Pretty-print the JSON as-is: the totals vocabulary is the wire
+		// ShardStats frame and changes with it.
+		var v any
+		if err := json.Unmarshal(body, &v); err != nil {
+			return err
+		}
+		out, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+		return nil
+	case "drain":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: etrain-ctl drain SHARD-ID")
+		}
+		id, err := strconv.ParseUint(args[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("shard id %q: %w", args[1], err)
+		}
+		resp, err := http.Post(base+"/drain?shard="+url.QueryEscape(args[1]), "", nil)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(resp.Body)
+			return fmt.Errorf("drain %d: %s: %s", id, resp.Status, strings.TrimSpace(string(msg)))
+		}
+		fmt.Printf("shard %d draining\n", id)
+		return nil
+	case "wait":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: etrain-ctl wait FIELD=N (shards, deaths, drains, epoch, watchers)")
+		}
+		return wait(base, args[1], timeout)
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+// wait polls the controller until cond (field=N, meaning field >= N)
+// holds, or the deadline passes.
+func wait(base, cond string, timeout time.Duration) error {
+	field, val, ok := strings.Cut(cond, "=")
+	if !ok {
+		return fmt.Errorf("condition %q is not FIELD=N", cond)
+	}
+	want, err := strconv.ParseUint(strings.TrimPrefix(val, ">"), 10, 64)
+	if err != nil {
+		return fmt.Errorf("condition %q: %w", cond, err)
+	}
+	field = strings.TrimSuffix(field, ">") // tolerate field>=N spelling
+	//lint:ignore notime admin-CLI boundary: the wait deadline is real time by definition
+	deadline := time.Now().Add(timeout)
+	for {
+		got, err := waitField(base, field)
+		if err != nil && strings.HasPrefix(err.Error(), "unknown wait field") {
+			return err
+		}
+		if err == nil {
+			if got >= want {
+				fmt.Printf("%s=%d\n", field, got)
+				return nil
+			}
+		}
+		//lint:ignore notime admin-CLI boundary: the wait deadline is real time by definition
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("wait %s: deadline after %s; last error: %w", cond, timeout, err)
+			}
+			return fmt.Errorf("wait %s: deadline after %s", cond, timeout)
+		}
+		//lint:ignore notime admin-CLI boundary: a poll pause against a live HTTP endpoint
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// waitField reads one waitable counter from the controller.
+func waitField(base, field string) (uint64, error) {
+	if field == "accepted" {
+		body, err := get(base + "/sessions")
+		if err != nil {
+			return 0, err
+		}
+		var sr struct {
+			Totals struct{ Accepted uint64 }
+		}
+		if err := json.Unmarshal(body, &sr); err != nil {
+			return 0, err
+		}
+		return sr.Totals.Accepted, nil
+	}
+	st, err := getStatus(base)
+	if err != nil {
+		return 0, err
+	}
+	switch field {
+	case "shards":
+		return uint64(len(st.Shards)), nil
+	case "deaths":
+		return st.Deaths, nil
+	case "drains":
+		return st.Drains, nil
+	case "epoch":
+		return st.Epoch, nil
+	case "watchers":
+		return uint64(st.Watchers), nil
+	}
+	return 0, fmt.Errorf("unknown wait field %q", field)
+}
+
+func printShards(shards []shardStatus) {
+	for _, s := range shards {
+		state := "up"
+		if s.Draining {
+			state = "draining"
+		}
+		age := "-"
+		if s.BeatAgeMS >= 0 {
+			age = strconv.FormatInt(s.BeatAgeMS, 10) + "ms"
+		}
+		fmt.Printf("shard %d  %s  %s  beat seq %d (%d beats, age %s)\n",
+			s.ID, s.Addr, state, s.BeatSeq, s.Beats, age)
+	}
+}
+
+func getStatus(base string) (*status, error) {
+	body, err := get(base + "/status")
+	if err != nil {
+		return nil, err
+	}
+	var st status
+	if err := json.Unmarshal(body, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+func get(u string) ([]byte, error) {
+	resp, err := http.Get(u)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", u, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}

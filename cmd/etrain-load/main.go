@@ -21,6 +21,18 @@
 // writes the whole report to a file for etrain-benchjson -load to fold
 // into BENCH_server.json.
 //
+// With -cluster ADDR the generator runs against a sharded etraind
+// cluster instead of one server (DESIGN.md §13): it subscribes to the
+// controller's route table at ADDR, routes every device to its owning
+// shard through the consistent-hash ring, and follows pushed table
+// updates — a shard killed mid-run strands its clients for exactly as
+// long as rerouting takes, and the report's failover-recovery
+// percentiles measure that window (first failed dial to the next
+// successful one). The summary then also prints the fleet-wide merged
+// stats block ("fleet ..." lines, folded in device-index order), which
+// is byte-comparable against a single-process run of the same fleet —
+// the cluster CI job diffs exactly that.
+//
 // Devices are synthesized exactly like etrain-fleet's (identity-derived
 // from -seed), so a load run replays the same population a fleet
 // simulation reports on. This command is a wall-clock boundary of the
@@ -38,16 +50,19 @@ import (
 	"time"
 
 	"etrain/internal/client"
+	"etrain/internal/cluster"
 	"etrain/internal/faultnet"
 	"etrain/internal/fleet"
 	"etrain/internal/parallel"
 	"etrain/internal/server"
 	"etrain/internal/stats"
+	"etrain/internal/wire"
 	"etrain/internal/workload"
 )
 
 func main() {
 	addr := flag.String("addr", "", "etraind address (empty: in-process loopback server)")
+	clusterAddr := flag.String("cluster", "", "cluster controller control address: route devices by the live route table")
 	devices := flag.Int("devices", 1000, "devices to replay")
 	conns := flag.Int("conns", 16, "concurrent connections (negative: one per CPU)")
 	seed := flag.Int64("seed", 42, "fleet seed; device i derives from (seed, i)")
@@ -63,6 +78,7 @@ func main() {
 
 	if err := run(config{
 		addr:      *addr,
+		cluster:   *clusterAddr,
 		devices:   *devices,
 		conns:     *conns,
 		seed:      *seed,
@@ -83,6 +99,7 @@ func main() {
 // config carries the parsed flags.
 type config struct {
 	addr      string
+	cluster   string
 	devices   int
 	conns     int
 	seed      int64
@@ -136,11 +153,33 @@ type report struct {
 	ServerFramesIn  uint64 `json:"server_frames_in,omitempty"`
 	ServerFramesOut uint64 `json:"server_frames_out,omitempty"`
 	ServerDecisions uint64 `json:"server_decisions,omitempty"`
+
+	// Cluster mode only: how often devices were rerouted to a new owner,
+	// how many dial outages they rode out, and how long rerouting took —
+	// the failover-recovery window from a device's first failed dial to
+	// its next successful one.
+	Cluster        string  `json:"cluster,omitempty"`
+	Reroutes       int     `json:"reroutes,omitempty"`
+	Recoveries     int     `json:"recoveries,omitempty"`
+	RecoveryP50Ms  float64 `json:"recovery_p50_ms,omitempty"`
+	RecoveryP99Ms  float64 `json:"recovery_p99_ms,omitempty"`
+	RecoveryMaxMs  float64 `json:"recovery_max_ms,omitempty"`
+	RecoveryMeanMs float64 `json:"recovery_mean_ms,omitempty"`
+
+	// Fleet is the merged per-device stats fold (device-index order, so
+	// it is a pure function of the device set regardless of shard layout).
+	Fleet *cluster.FleetReport `json:"fleet,omitempty"`
 }
 
 func run(cfg config) error {
 	if cfg.faults < 0 || cfg.faults >= 1 {
 		return fmt.Errorf("faults %v outside [0, 1)", cfg.faults)
+	}
+	if cfg.cluster != "" && cfg.addr != "" {
+		return fmt.Errorf("-cluster and -addr are mutually exclusive: the route table picks the address per device")
+	}
+	if cfg.cluster != "" && cfg.faults > 0 {
+		return fmt.Errorf("-cluster does not compose with -faults: cluster chaos is injected by killing shards (see the cluster CI job), not by the transport injector")
 	}
 	pop, err := workload.NewPopulation(workload.DefaultMix())
 	if err != nil {
@@ -163,8 +202,19 @@ func run(cfg config) error {
 	}
 
 	var srv *server.Server
+	var rt *cluster.Router
 	rawDial := func() (net.Conn, error) { return net.Dial("tcp", cfg.addr) }
-	if cfg.addr == "" {
+	switch {
+	case cfg.cluster != "":
+		rt, err = cluster.NewRouter(cluster.RouterConfig{
+			DialControl: func() (net.Conn, error) { return net.Dial("tcp", cfg.cluster) },
+			DialShard:   func(a string) (net.Conn, error) { return net.Dial("tcp", a) },
+		})
+		if err != nil {
+			return fmt.Errorf("cluster %s: %w", cfg.cluster, err)
+		}
+		defer rt.Close()
+	case cfg.addr == "":
 		srv = server.New(server.Config{})
 		rawDial = func() (net.Conn, error) {
 			clientSide, serverSide := net.Pipe()
@@ -174,7 +224,10 @@ func run(cfg config) error {
 	}
 	if !cfg.quiet {
 		target := cfg.addr
-		if target == "" {
+		if cfg.cluster != "" {
+			tbl := rt.Table()
+			target = fmt.Sprintf("%d-shard cluster at %s (route epoch %d)", len(tbl.Shards), cfg.cluster, tbl.Epoch)
+		} else if target == "" {
 			target = "in-process loopback"
 		}
 		chaos := ""
@@ -188,9 +241,15 @@ func run(cfg config) error {
 	var (
 		mu       sync.Mutex
 		latency  stats.Moments
+		recovery stats.Moments
 		rep      report
 		firstErr error
 	)
+	recSketch, err := stats.NewSketch(cfg.alpha)
+	if err != nil {
+		return err
+	}
+	snaps := make([]wire.StatsSnapshot, cfg.devices)
 	rep.Devices, rep.Conns, rep.Faults = cfg.devices, cfg.conns, cfg.faults
 	if cfg.faults > 0 {
 		rep.FaultSeed = cfg.faultSeed
@@ -206,10 +265,7 @@ func run(cfg config) error {
 		if err != nil {
 			return err
 		}
-		//lint:ignore notime load-harness boundary: session latency is measured at the client
-		t0 := time.Now()
-		out, err := client.Run(client.Config{
-			Dial: inj.Dialer(rawDial, uint64(i)),
+		ccfg := client.Config{
 			Seed: cfg.seed + int64(i),
 			//lint:ignore notime load-harness boundary: real reconnect backoff against a real transport
 			Sleep: time.Sleep,
@@ -217,7 +273,27 @@ func run(cfg config) error {
 			Clock:       time.Now,
 			BaseBackoff: 5 * time.Millisecond,
 			MaxBackoff:  250 * time.Millisecond,
-		}, sess)
+		}
+		if rt != nil {
+			ccfg.Route = timedRoute(rt.Dialer(uint64(i)), func(moved bool, outage time.Duration) {
+				mu.Lock()
+				defer mu.Unlock()
+				if moved {
+					rep.Reroutes++
+				}
+				if outage > 0 {
+					rep.Recoveries++
+					ms := float64(outage) / float64(time.Millisecond)
+					recovery.Add(ms)
+					recSketch.Add(ms)
+				}
+			})
+		} else {
+			ccfg.Dial = inj.Dialer(rawDial, uint64(i))
+		}
+		//lint:ignore notime load-harness boundary: session latency is measured at the client
+		t0 := time.Now()
+		out, err := client.Run(ccfg, sess)
 		//lint:ignore notime load-harness boundary: session latency is measured at the client
 		elapsed := time.Since(t0)
 		mu.Lock()
@@ -233,6 +309,7 @@ func run(cfg config) error {
 		latency.Add(ms)
 		sketch.Add(ms)
 		rep.absorb(out)
+		snaps[i] = out.Stats
 		return nil
 	})
 	//lint:ignore notime load-harness boundary: throughput and latency are wall-clock measurements of the service; the sessions themselves are deterministic
@@ -261,6 +338,31 @@ func run(cfg config) error {
 		rep.ServerFramesIn, rep.ServerFramesOut = s.FramesIn, s.FramesOut
 		rep.ServerDecisions = s.Decisions
 	}
+	if rt != nil {
+		rep.Cluster = cfg.cluster
+		if recovery.N() > 0 {
+			rep.RecoveryMeanMs = recovery.Mean()
+			rep.RecoveryMaxMs = recovery.Max()
+			rep.RecoveryP50Ms = quantile(recSketch, 50)
+			rep.RecoveryP99Ms = quantile(recSketch, 99)
+		}
+	}
+	// The fleet block folds per-device snapshots in device-index order, so
+	// its bits depend only on the device set — a cluster run and a
+	// single-process run of the same fleet render the same block. A failed
+	// session has no snapshot, so the fold is only meaningful when every
+	// session completed.
+	if rep.Failed == 0 {
+		flt, err := cluster.NewFleetStats(0)
+		if err != nil {
+			return err
+		}
+		for i := range snaps {
+			flt.Add(snaps[i])
+		}
+		fr := flt.Report()
+		rep.Fleet = &fr
+	}
 
 	fmt.Printf("sessions     %d ok, %d failed\n", rep.SessionsOK, rep.Failed)
 	fmt.Printf("wall         %s\n", wall.Round(time.Millisecond))
@@ -281,6 +383,18 @@ func run(cfg config) error {
 		s := srv.Stats()
 		fmt.Printf("server       frames in/out %d/%d  decisions %d  parked %d  resumed %d\n",
 			s.FramesIn, s.FramesOut, s.Decisions, s.Parked, s.Resumed)
+	}
+	if rt != nil {
+		fmt.Printf("cluster      reroutes %d  recoveries %d\n", rep.Reroutes, rep.Recoveries)
+		if rep.Recoveries > 0 {
+			fmt.Printf("recovery ms  mean %.2f  max %.2f  p50 %.2f  p99 %.2f\n",
+				rep.RecoveryMeanMs, rep.RecoveryMaxMs, rep.RecoveryP50Ms, rep.RecoveryP99Ms)
+		}
+	}
+	if rep.Fleet != nil {
+		if err := rep.Fleet.WriteText(os.Stdout); err != nil {
+			return err
+		}
 	}
 	if cfg.jsonPath != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
@@ -313,6 +427,35 @@ func (r *report) absorb(out *client.Outcome) {
 	}
 	if out.CompletedLocally {
 		r.DegradedUnreconciled++
+	}
+}
+
+// timedRoute wraps one device's route dialer with outage timing: the
+// failover-recovery window runs from the device's first failed dial to
+// its next successful one. note fires on every successful dial with the
+// move flag and the closed outage window (zero when the dial chain never
+// broke). Each device's dialer is driven by that device's client
+// goroutine alone, so the closure state needs no lock; note does its own
+// locking.
+func timedRoute(route func() (net.Conn, bool, error), note func(moved bool, outage time.Duration)) func() (net.Conn, bool, error) {
+	var outageStart time.Time
+	return func() (net.Conn, bool, error) {
+		conn, moved, err := route()
+		if err != nil {
+			if outageStart.IsZero() {
+				//lint:ignore notime load-harness boundary: failover recovery is a wall-clock measurement
+				outageStart = time.Now()
+			}
+			return nil, false, err
+		}
+		var outage time.Duration
+		if !outageStart.IsZero() {
+			//lint:ignore notime load-harness boundary: failover recovery is a wall-clock measurement
+			outage = time.Since(outageStart)
+			outageStart = time.Time{}
+		}
+		note(moved, outage)
+		return conn, moved, nil
 	}
 }
 

@@ -12,10 +12,13 @@ import (
 // loop and session reader/processor pairs spawn goroutines per
 // connection, the resilience layer — the fault injector and the
 // self-healing client, whose per-connection reader goroutines must join
-// before an exchange returns — and the scenario engine, whose loopback
+// before an exchange returns — the scenario engine, whose loopback
 // rig spawns a ServeConn goroutine per dial that the per-device join
-// must collect. Stray goroutines here are exactly the ones that can
-// outlive a sweep (or a drained server) and race its result slots.
+// must collect, and the cluster control plane (plus its admin CLI),
+// whose route-table pushes fan out a goroutine per member that the
+// controller's WaitGroup must collect before shutdown. Stray goroutines
+// here are exactly the ones that can outlive a sweep (or a drained
+// server) and race its result slots.
 var fanOutPackages = []string{
 	"etrain/internal/parallel",
 	"etrain/internal/sim",
@@ -25,6 +28,8 @@ var fanOutPackages = []string{
 	"etrain/internal/faultnet",
 	"etrain/internal/client",
 	"etrain/internal/scenario",
+	"etrain/internal/cluster",
+	"etrain/cmd/etrain-ctl",
 }
 
 // CtxLoop checks goroutine hygiene in the fan-out layers:

@@ -57,6 +57,25 @@ func TestScenarioPatrol(t *testing.T) {
 		"etrain/internal/scenario")
 }
 
+// TestClusterPatrol extends the union patrol to the control plane:
+// route-table pushes and shard beats are control-frame write paths, so
+// the fixture carries dropped-write, wall-clock, PRNG and
+// goroutine-hygiene violations for the four patrols at once.
+func TestClusterPatrol(t *testing.T) {
+	analysistest.RunAll(t, analysistest.TestData(t),
+		[]*analysis.Analyzer{analysis.CtxLoop, analysis.NoTime, analysis.NoRand, analysis.ErrFlow},
+		"etrain/internal/cluster")
+}
+
+// TestCtlPatrol holds the cluster admin CLI to the same bar: its wait
+// loop is a wall-clock boundary only via explicit pragmas, and a drain
+// request's transport write error must be consumed.
+func TestCtlPatrol(t *testing.T) {
+	analysistest.RunAll(t, analysistest.TestData(t),
+		[]*analysis.Analyzer{analysis.CtxLoop, analysis.NoTime, analysis.ErrFlow},
+		"etrain/cmd/etrain-ctl")
+}
+
 func TestHotAlloc(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t), analysis.HotAlloc,
 		"hotalloc", "hotallocpkg")

@@ -1,0 +1,36 @@
+// Command etrain-ctl's stand-in: the cluster admin CLI is patrolled
+// like the layers it drives. Its wait loop is a sanctioned wall-clock
+// boundary only through explicit lint:ignore pragmas at each read — the
+// bare shapes below must all be flagged — and a drain request whose
+// transport write error is dropped reports success for a drain the
+// controller never heard.
+package main
+
+import (
+	"net"
+	"time"
+)
+
+// waitUntil polls with bare wall-clock reads instead of pragma-annotated
+// boundary reads threaded from -timeout.
+func waitUntil(probe func() bool) bool {
+	deadline := time.Now().Add(30 * time.Second) // want `time.Now reads the wall clock outside the real-time boundary`
+	for !probe() {
+		if time.Now().After(deadline) { // want `time.Now reads the wall clock outside the real-time boundary`
+			return false
+		}
+		time.Sleep(50 * time.Millisecond) // want `time.Sleep reads the wall clock outside the real-time boundary`
+	}
+	return true
+}
+
+// drain fires the drain request and drops the transport error.
+func drain(conn net.Conn, req []byte) {
+	conn.Write(req) // want `error from net.Conn.Write is dropped`
+}
+
+// drainChecked is the sanctioned shape.
+func drainChecked(conn net.Conn, req []byte) error {
+	_, err := conn.Write(req)
+	return err
+}

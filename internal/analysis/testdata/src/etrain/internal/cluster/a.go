@@ -1,0 +1,55 @@
+// Package cluster stands in for the real control plane: route-table
+// pushes and shard beats are control-frame write paths, so the combined
+// patrol faces them at once — dropped transport write errors, wall-clock
+// reads outside the injected controller clock, direct PRNG use, and
+// goroutine hygiene in the fan-out set.
+package cluster
+
+import (
+	"math/rand" // want `import of math/rand outside internal/randx; derive a deterministic stream with randx.New/randx.Derive instead`
+	"time"
+
+	"etrain/internal/wire"
+)
+
+// pushAll fans a new route table out with fire-and-forget goroutines
+// that drop the write error: the push and its failure both vanish, and
+// a straggler can outlive the controller's shutdown.
+func pushAll(peers []*wire.Writer, t wire.Hello) {
+	for _, w := range peers {
+		go func() { // want `goroutine has no join or cancellation path`
+			w.Write(t) // want `goroutine closure captures loop variable w` `error from .*Writer\.Write is dropped`
+		}()
+	}
+}
+
+// beatAge derives shard liveness from the wall clock instead of the
+// controller's injected Clock: two controllers, two sweep verdicts.
+func beatAge(lastBeat time.Time) time.Duration {
+	return time.Since(lastBeat) // want `time.Since reads the wall clock outside the real-time boundary`
+}
+
+// jitterBeat schedules the next beat off the global PRNG: the beat
+// schedule stops being a pure function of the config.
+func jitterBeat(every time.Duration) time.Duration {
+	return every + time.Duration(rand.Int63n(int64(every)))
+}
+
+// pushJoined is the sanctioned shape: the writer enters the goroutine
+// as an argument, every write error is consumed, and the fan-out joins
+// before returning.
+func pushJoined(peers []*wire.Writer, t wire.Hello) error {
+	errs := make(chan error, len(peers))
+	for _, w := range peers {
+		go func(w *wire.Writer) {
+			errs <- w.Write(t)
+		}(w)
+	}
+	var first error
+	for range peers {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -44,9 +44,19 @@ const resumeRetries = 1
 
 // Config parameterizes a resilient session run.
 type Config struct {
-	// Dial opens a connection to the server. Required. It is called for
-	// the initial connection, every reconnect, and degraded-mode probes.
+	// Dial opens a connection to the server. It is called for the
+	// initial connection, every reconnect, and degraded-mode probes.
+	// Exactly one of Dial and Route is required.
 	Dial func() (net.Conn, error)
+	// Route is the cluster-aware alternative to Dial: each call routes
+	// the device under the newest route table (cluster.Router.Dialer
+	// returns this shape) and reports moved=true when the endpoint
+	// differs from the previous successful dial. A moved connection
+	// reaches a shard that never parked this session, so the client
+	// skips the Resume handshake there and goes straight to a full
+	// Hello replay — which, by determinism, regenerates the exact
+	// stream the old shard would have sent.
+	Route func() (conn net.Conn, moved bool, err error)
 	// Power is the radio model for degraded-mode local scheduling
 	// (radio.GalaxyS43G() if unset) — it must match the server's model
 	// for local decisions to be identical.
@@ -139,8 +149,11 @@ type state struct {
 // full decision stream and stats snapshot are assembled. It fails only
 // on protocol or engine errors — never on transport faults.
 func Run(cfg Config, sess server.Session) (*Outcome, error) {
-	if cfg.Dial == nil {
-		return nil, fmt.Errorf("client: Config.Dial is required")
+	if cfg.Dial == nil && cfg.Route == nil {
+		return nil, fmt.Errorf("client: one of Config.Dial and Config.Route is required")
+	}
+	if cfg.Dial != nil && cfg.Route != nil {
+		return nil, fmt.Errorf("client: Config.Dial and Config.Route are mutually exclusive")
 	}
 	if cfg.MaxAttempts <= 0 {
 		cfg.MaxAttempts = DefaultMaxAttempts
@@ -174,8 +187,7 @@ func Run(cfg Config, sess server.Session) (*Outcome, error) {
 	var conn net.Conn // a live connection handed over by a degraded probe
 	for !st.done {
 		if conn == nil {
-			c, err := cfg.Dial()
-			st.attempts++
+			c, err := st.dial()
 			if err != nil {
 				consecFail++
 				if consecFail >= cfg.MaxAttempts {
@@ -220,6 +232,27 @@ func Run(cfg Config, sess server.Session) (*Outcome, error) {
 		st.backoff(rng, consecFail)
 	}
 	return st.outcome()
+}
+
+// dial opens one connection through whichever hook the config carries,
+// counting the attempt. A Route dial that reports the device's shard
+// moved invalidates the parked session — it lives (if anywhere) on a
+// shard this connection does not reach — so the next handshake is a
+// full Hello replay rather than a doomed Resume.
+func (st *state) dial() (net.Conn, error) {
+	st.attempts++
+	if st.cfg.Route == nil {
+		return st.cfg.Dial()
+	}
+	conn, moved, err := st.cfg.Route()
+	if err != nil {
+		return nil, err
+	}
+	if moved {
+		st.canResume = false
+		st.resumeFails = 0
+	}
+	return conn, nil
 }
 
 // backoff sleeps the capped exponential delay for the given consecutive
@@ -412,8 +445,7 @@ func (st *state) stint() (net.Conn, error) {
 		countdown--
 		if countdown <= 0 {
 			countdown = every
-			conn, err := st.cfg.Dial()
-			st.attempts++
+			conn, err := st.dial()
 			if err == nil {
 				st.reconnects++
 				return conn, nil

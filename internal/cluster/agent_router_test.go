@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"etrain/internal/wire"
+)
+
+func tcpDialer(addr string) func() (net.Conn, error) {
+	return func() (net.Conn, error) { return net.Dial("tcp", addr) }
+}
+
+// TestAgentRegistersBeatsAndStops: RunAgent registers, beats with
+// stats, delivers pushed tables, and unwinds cleanly on cancel.
+func TestAgentRegistersBeatsAndStops(t *testing.T) {
+	c, addr := startController(t, ControllerConfig{RingSeed: 42})
+
+	var tblMu sync.Mutex
+	var lastTable wire.RouteTable
+	ctx, cancel := context.WithCancel(context.Background())
+	agentDone := make(chan error, 1)
+	go func() {
+		agentDone <- RunAgent(ctx, AgentConfig{
+			ShardID:   5,
+			Advertise: "127.0.0.1:9999",
+			Dial:      tcpDialer(addr),
+			Stats: func() wire.ShardStats {
+				return wire.ShardStats{Accepted: 11, Completed: 11}
+			},
+			BeatEvery: time.Millisecond,
+			Sleep:     time.Sleep,
+			OnRouteTable: func(tbl wire.RouteTable) {
+				tblMu.Lock()
+				lastTable = tbl
+				tblMu.Unlock()
+			},
+		})
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := c.Status()
+		if len(st.Shards) == 1 && st.Shards[0].Beats >= 2 && st.Shards[0].Stats != nil {
+			if st.Shards[0].Addr != "127.0.0.1:9999" || st.Shards[0].Stats.ShardID != 5 {
+				t.Fatalf("registration %+v", st.Shards[0])
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("agent never became healthy: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	tblMu.Lock()
+	gotTable := lastTable
+	tblMu.Unlock()
+	if len(gotTable.Shards) != 1 || gotTable.Shards[0].ShardID != 5 {
+		t.Fatalf("agent's route table %+v", gotTable)
+	}
+
+	cancel()
+	select {
+	case err := <-agentDone:
+		if err != context.Canceled {
+			t.Fatalf("RunAgent returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunAgent did not stop on cancel")
+	}
+}
+
+// TestAgentConfigValidation: the required fields are enforced.
+func TestAgentConfigValidation(t *testing.T) {
+	base := AgentConfig{
+		ShardID:   1,
+		Advertise: "a:1",
+		Dial:      func() (net.Conn, error) { return nil, nil },
+		Sleep:     func(time.Duration) {},
+	}
+	for name, breakIt := range map[string]func(*AgentConfig){
+		"shard id":  func(c *AgentConfig) { c.ShardID = 0 },
+		"advertise": func(c *AgentConfig) { c.Advertise = "" },
+		"dial":      func(c *AgentConfig) { c.Dial = nil },
+		"sleep":     func(c *AgentConfig) { c.Sleep = nil },
+	} {
+		cfg := base
+		breakIt(&cfg)
+		if err := RunAgent(context.Background(), cfg); err == nil {
+			t.Errorf("missing %s accepted", name)
+		}
+	}
+}
+
+// TestRouterFollowsTable: the router holds the table current across
+// membership changes and its per-device dialers report moves.
+func TestRouterFollowsTable(t *testing.T) {
+	_, addr := startController(t, ControllerConfig{RingSeed: 42})
+
+	// Two fake shards with live session listeners so DialShard connects.
+	sessionAddr := func() (net.Listener, string) {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			for {
+				conn, err := l.Accept()
+				if err != nil {
+					return
+				}
+				conn.Close()
+			}
+		}()
+		t.Cleanup(func() { l.Close() })
+		return l, l.Addr().String()
+	}
+	_, addr1 := sessionAddr()
+	_, addr2 := sessionAddr()
+
+	s1 := joinShard(t, addr, 1, addr1)
+	defer s1.conn.Close()
+	s1.tableWith(1)
+
+	rt, err := NewRouter(RouterConfig{
+		DialControl: tcpDialer(addr),
+		DialShard:   func(a string) (net.Conn, error) { return net.Dial("tcp", a) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	shard, got, _, err := rt.Lookup(77)
+	if err != nil || shard != 1 || got != addr1 {
+		t.Fatalf("lookup (%d, %q, %v), want shard 1 at %q", shard, got, err, addr1)
+	}
+
+	// A device dialer connects and reports no move while the owner holds.
+	dial := rt.Dialer(77)
+	conn, moved, err := dial()
+	if err != nil || moved {
+		t.Fatalf("first dial (moved %v, err %v)", moved, err)
+	}
+	conn.Close()
+
+	// Membership change: shard 1 dies, shard 2 joins. The device must
+	// re-route, and the dialer must flag the move exactly once.
+	s2 := joinShard(t, addr, 2, addr2)
+	defer s2.conn.Close()
+	s2.tableWith(1, 2) // wait until the controller knows both
+	s1.conn.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		tbl := rt.Table()
+		if len(tbl.Shards) == 1 && tbl.Shards[0].ShardID == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("router table never converged: %+v", rt.Table())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	conn, moved, err = dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !moved {
+		t.Fatal("dial after failover did not report a move")
+	}
+	conn.Close()
+	conn, moved, err = dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved {
+		t.Fatal("steady-state dial reported a move")
+	}
+	conn.Close()
+}
+
+// TestRouterSurvivesControllerBounce: losing the watcher conn redials
+// and resubscribes transparently.
+func TestRouterSurvivesControllerBounce(t *testing.T) {
+	c, addr := startController(t, ControllerConfig{RingSeed: 42})
+	s1 := joinShard(t, addr, 1, "a:1")
+	defer s1.conn.Close()
+	s1.tableWith(1)
+
+	rt, err := NewRouter(RouterConfig{DialControl: tcpDialer(addr)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	epoch1 := rt.Table().Epoch
+
+	// Kill the watcher conn server-side: the router must resubscribe and
+	// keep receiving pushes.
+	c.mu.Lock()
+	for w := range c.watchers {
+		w.conn.Close()
+	}
+	c.mu.Unlock()
+
+	s2 := joinShard(t, addr, 2, "b:2")
+	defer s2.conn.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		tbl := rt.Table()
+		if len(tbl.Shards) == 2 && tbl.Epoch > epoch1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("router never recovered past the bounce: %+v", rt.Table())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

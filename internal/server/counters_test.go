@@ -1,0 +1,187 @@
+package server
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"etrain/internal/fleet"
+	"etrain/internal/wire"
+)
+
+// checkCountersConsistent asserts the invariants a single-lock snapshot
+// guarantees. With torn per-field reads, a snapshot taken between a
+// session's open (Accepted, Active together) or outcome (Active release
+// plus one outcome counter) transition would break the ledger.
+func checkCountersConsistent(t *testing.T, c Counters) {
+	t.Helper()
+	if c.Accepted != c.Active+c.Completed+c.Errored+c.Parked {
+		t.Errorf("torn snapshot: accepted %d != active %d + completed %d + errored %d + parked %d",
+			c.Accepted, c.Active, c.Completed, c.Errored, c.Parked)
+	}
+	if c.Decisions > c.FramesOut {
+		t.Errorf("torn snapshot: decisions %d > frames out %d", c.Decisions, c.FramesOut)
+	}
+}
+
+// TestStatsSnapshotConsistent races Stats against heavy session churn —
+// completions, protocol errors, and parks all at once — and asserts
+// every observed snapshot satisfies the session ledger. Run under -race
+// this also proves the counter path itself is data-race free.
+func TestStatsSnapshotConsistent(t *testing.T) {
+	pop := testPopulation(t)
+	srv := New(Config{})
+
+	var sessions []Session
+	for i := 0; i < 4; i++ {
+		dev, err := fleet.SynthesizeDevice(11, pop, i, testHorizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess, err := SessionFromDevice(dev, testTheta, testK)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions = append(sessions, sess)
+	}
+
+	done := make(chan struct{})
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			checkCountersConsistent(t, srv.Stats())
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 12; i++ {
+				sess := sessions[(g+i)%len(sessions)]
+				client, serverSide := net.Pipe()
+				srvErr := make(chan error, 1)
+				go func() { srvErr <- srv.ServeConn(serverSide) }()
+				switch i % 3 {
+				case 0: // full protocol: completed
+					if _, err := Drive(client, sess); err != nil {
+						t.Errorf("Drive: %v", err)
+					}
+				case 1: // ack as first frame: protocol error
+					w := wire.NewWriter(client)
+					if err := w.Write(wire.Ack{Seq: 9}); err != nil {
+						t.Errorf("write: %v", err)
+					}
+					client.Close()
+				case 2: // hello then vanish: session parks
+					w := wire.NewWriter(client)
+					r := wire.NewReader(client)
+					if err := w.Write(sess.Hello); err != nil {
+						t.Errorf("write hello: %v", err)
+					} else if _, err := r.Next(); err != nil {
+						t.Errorf("read admission: %v", err)
+					}
+					client.Close()
+				}
+				<-srvErr
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(done)
+	snapWG.Wait()
+
+	final := srv.Stats()
+	checkCountersConsistent(t, final)
+	if final.Active != 0 {
+		t.Errorf("final snapshot: %d sessions still active", final.Active)
+	}
+	if final.Parked != final.Resumed+final.Discarded+final.Detached {
+		t.Errorf("park ledger: parked %d != resumed %d + discarded %d + detached %d",
+			final.Parked, final.Resumed, final.Discarded, final.Detached)
+	}
+	wantSessions := uint64(8 * 12)
+	if final.Accepted != wantSessions {
+		t.Errorf("accepted %d sessions, want %d", final.Accepted, wantSessions)
+	}
+}
+
+// TestLameDuck verifies the drain hook: a lame-ducking server rejects
+// new connections while an in-flight session runs to completion, and
+// clearing the flag re-admits.
+func TestLameDuck(t *testing.T) {
+	pop := testPopulation(t)
+	dev, err := fleet.SynthesizeDevice(11, pop, 0, testHorizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := SessionFromDevice(dev, testTheta, testK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{})
+
+	// Open a session, then flip lame duck while it is mid-flight.
+	client, serverSide := net.Pipe()
+	srvErr := make(chan error, 1)
+	go func() { srvErr <- srv.ServeConn(serverSide) }()
+	w := wire.NewWriter(client)
+	r := wire.NewReader(client)
+	if err := w.Write(sess.Hello); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	srv.SetLameDuck(true)
+	if !srv.LameDucking() {
+		t.Fatal("LameDucking not set")
+	}
+
+	// New connections bounce.
+	c2, s2 := net.Pipe()
+	if err := srv.ServeConn(s2); err != ErrServerClosed {
+		t.Fatalf("lame-duck admission: %v, want ErrServerClosed", err)
+	}
+	c2.Close()
+
+	// The in-flight session still completes over the event stream.
+	for i, ev := range sess.Events {
+		if err := w.Write(ev); err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+	}
+	if err := w.Write(wire.Ack{Seq: uint64(len(sess.Events)) + 1}); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		m, err := r.Next()
+		if err != nil {
+			t.Fatalf("reading session stream: %v", err)
+		}
+		if _, isAck := m.(wire.Ack); isAck {
+			break
+		}
+	}
+	if err := <-srvErr; err != nil {
+		t.Fatalf("in-flight session under lame duck: %v", err)
+	}
+
+	srv.SetLameDuck(false)
+	out := driveLoopback(t, srv, sess)
+	if out.Stats.DeviceID != uint64(dev.Index) {
+		t.Fatalf("re-admitted session served device %d, want %d", out.Stats.DeviceID, dev.Index)
+	}
+	s := srv.Stats()
+	if s.Rejected != 1 || s.Completed != 2 {
+		t.Errorf("counters: %+v, want 1 rejected, 2 completed", s)
+	}
+}

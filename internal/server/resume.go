@@ -44,17 +44,23 @@ func (s *Server) park(sess *session) bool {
 		e.expiry = s.cfg.Clock().Add(s.cfg.ResumeGrace)
 		e.hasExpiry = true
 	}
-	if _, ok := s.detached[e.key]; ok {
-		// A newer park for the same key supersedes the old session; its
-		// parkOrder entry goes stale and is dropped during pops.
-		s.discarded.Add(1)
-	}
+	_, superseded := s.detached[e.key]
 	s.detached[e.key] = e
 	s.parkOrder = append(s.parkOrder, e)
+	// One transition: the registry gained an entry, minus the same-key
+	// session it displaced (whose parkOrder entry goes stale and is
+	// dropped during pops). Parked itself is counted by serveSession's
+	// outcome transition, paired with the Active release.
+	s.count(func(c *Counters) {
+		c.Detached++
+		if superseded {
+			c.Discarded++
+			c.Detached--
+		}
+	})
 	for len(s.detached) > s.cfg.RetainSessions {
 		s.evictOldestLocked()
 	}
-	s.parked.Add(1)
 	return true
 }
 
@@ -81,7 +87,10 @@ func (s *Server) dropDetached(key sessionKey) {
 	defer s.mu.Unlock()
 	if _, ok := s.detached[key]; ok {
 		delete(s.detached, key)
-		s.discarded.Add(1)
+		s.count(func(c *Counters) {
+			c.Discarded++
+			c.Detached--
+		})
 	}
 }
 
@@ -105,7 +114,10 @@ func (s *Server) sweepDetachedLocked() {
 		}
 		s.parkOrder = s.parkOrder[1:]
 		delete(s.detached, e.key)
-		s.discarded.Add(1)
+		s.count(func(c *Counters) {
+			c.Discarded++
+			c.Detached--
+		})
 	}
 }
 
@@ -119,7 +131,10 @@ func (s *Server) evictOldestLocked() {
 			continue // stale marker
 		}
 		delete(s.detached, e.key)
-		s.discarded.Add(1)
+		s.count(func(c *Counters) {
+			c.Discarded++
+			c.Detached--
+		})
 		return
 	}
 }
@@ -133,5 +148,8 @@ func (s *Server) discardDetachedLocked() {
 	}
 	s.detached = make(map[sessionKey]*parkedEntry)
 	s.parkOrder = nil
-	s.discarded.Add(uint64(n))
+	s.count(func(c *Counters) {
+		c.Discarded += uint64(n)
+		c.Detached -= uint64(n)
+	})
 }

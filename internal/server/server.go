@@ -87,7 +87,16 @@ type Config struct {
 }
 
 // Counters is a snapshot of the server's monotonic event counts (Active
-// excepted, which is the instantaneous session count).
+// and Detached excepted, which are instantaneous gauges).
+//
+// A snapshot is internally consistent, not merely individually fresh:
+// every multi-counter state change — a session opening, an outcome
+// resolving, a frame going out with its Decision classification — is one
+// locked transition, and Stats copies the whole set under the same lock.
+// In particular Accepted == Active + Completed + Errored + Parked and
+// Decisions <= FramesOut hold in every snapshot, which is what lets a
+// cluster shard stream these counters as ShardStats frames without ever
+// publishing a torn value.
 type Counters struct {
 	Accepted     uint64 // connections admitted into sessions
 	Rejected     uint64 // connections refused (limit reached or draining)
@@ -109,19 +118,13 @@ type Counters struct {
 type Server struct {
 	cfg Config
 
-	accepted     atomic.Uint64
-	rejected     atomic.Uint64
-	active       atomic.Int64
-	completed    atomic.Uint64
-	errored      atomic.Uint64
-	panics       atomic.Uint64
-	parked       atomic.Uint64
-	resumed      atomic.Uint64
-	resumeMisses atomic.Uint64
-	discarded    atomic.Uint64
-	framesIn     atomic.Uint64
-	framesOut    atomic.Uint64
-	decisions    atomic.Uint64
+	// cmu guards ctrs alone. It is ordered after mu (park and the
+	// registry sweeps count while holding mu); nothing acquires mu while
+	// holding cmu.
+	cmu  sync.Mutex
+	ctrs Counters
+
+	lameDuck atomic.Bool
 
 	mu        sync.Mutex
 	closed    bool
@@ -130,6 +133,33 @@ type Server struct {
 	detached  map[sessionKey]*parkedEntry
 	parkOrder []*parkedEntry
 	wg        sync.WaitGroup
+}
+
+// count applies one counter transition atomically with respect to Stats:
+// all increments inside f land in the same snapshot or none do.
+func (s *Server) count(f func(*Counters)) {
+	s.cmu.Lock()
+	f(&s.ctrs)
+	s.cmu.Unlock()
+}
+
+// countFrameIn counts one decoded inbound frame (hot path: no closure).
+func (s *Server) countFrameIn() {
+	s.cmu.Lock()
+	s.ctrs.FramesIn++
+	s.cmu.Unlock()
+}
+
+// countFrameOut counts one written outbound frame and, in the same
+// transition, its Decision classification — so Decisions can never lead
+// FramesOut in a snapshot (hot path: no closure).
+func (s *Server) countFrameOut(decision bool) {
+	s.cmu.Lock()
+	s.ctrs.FramesOut++
+	if decision {
+		s.ctrs.Decisions++
+	}
+	s.cmu.Unlock()
 }
 
 // New returns a server with normalized configuration.
@@ -175,7 +205,7 @@ func (s *Server) Serve(l net.Listener) error {
 			return err
 		}
 		if !s.register(conn) {
-			s.rejected.Add(1)
+			s.count(func(c *Counters) { c.Rejected++ })
 			conn.Close()
 			continue
 		}
@@ -192,7 +222,7 @@ func (s *Server) Serve(l net.Listener) error {
 // connection limit and the drain state exactly like Serve.
 func (s *Server) ServeConn(conn net.Conn) error {
 	if !s.register(conn) {
-		s.rejected.Add(1)
+		s.count(func(c *Counters) { c.Rejected++ })
 		conn.Close()
 		return ErrServerClosed
 	}
@@ -205,24 +235,39 @@ func (s *Server) ServeConn(conn net.Conn) error {
 // in the session (or the strategy it hosts) is recovered, counted, and
 // confined to its connection. Outcomes count three ways: completed,
 // parked (recoverable disconnect, engine retained), or errored.
+//
+// Opening is one counter transition (Accepted and Active together) and the
+// outcome another (Active release plus exactly one outcome counter), so
+// Accepted == Active + Completed + Errored + Parked holds in every
+// Stats snapshot — the invariant the torn-counter regression test races.
 func (s *Server) serveSession(conn net.Conn) (err error) {
-	s.accepted.Add(1)
-	s.active.Add(1)
+	s.count(func(c *Counters) {
+		c.Accepted++
+		c.Active++
+	})
 	defer func() {
+		panicked := false
 		if r := recover(); r != nil {
-			s.panics.Add(1)
+			panicked = true
 			err = fmt.Errorf("server: session panic: %v", r)
 		}
-		s.active.Add(-1)
 		s.unregister(conn)
 		conn.Close()
-		switch {
-		case err == nil:
-			s.completed.Add(1)
-		case errors.Is(err, ErrSessionParked):
-			// Counted by park itself; not a failure, so not logged as one.
-		default:
-			s.errored.Add(1)
+		s.count(func(c *Counters) {
+			c.Active--
+			if panicked {
+				c.Panics++
+			}
+			switch {
+			case err == nil:
+				c.Completed++
+			case errors.Is(err, ErrSessionParked):
+				c.Parked++
+			default:
+				c.Errored++
+			}
+		})
+		if err != nil && !errors.Is(err, ErrSessionParked) {
 			s.logf("session %v: %v", conn.RemoteAddr(), err)
 		}
 	}()
@@ -271,32 +316,26 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-// Stats snapshots the server's counters.
+// Stats snapshots the server's counters: one lock, one struct copy, so
+// the returned set is a state the server actually passed through (see
+// the Counters invariants).
 func (s *Server) Stats() Counters {
-	active := s.active.Load()
-	if active < 0 {
-		active = 0
-	}
-	s.mu.Lock()
-	detached := uint64(len(s.detached))
-	s.mu.Unlock()
-	return Counters{
-		Accepted:     s.accepted.Load(),
-		Rejected:     s.rejected.Load(),
-		Active:       uint64(active),
-		Completed:    s.completed.Load(),
-		Errored:      s.errored.Load(),
-		Panics:       s.panics.Load(),
-		Parked:       s.parked.Load(),
-		Resumed:      s.resumed.Load(),
-		ResumeMisses: s.resumeMisses.Load(),
-		Discarded:    s.discarded.Load(),
-		Detached:     detached,
-		FramesIn:     s.framesIn.Load(),
-		FramesOut:    s.framesOut.Load(),
-		Decisions:    s.decisions.Load(),
-	}
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	return s.ctrs
 }
+
+// SetLameDuck flips lame-duck mode: while set, new connections are
+// rejected (and counted Rejected) but in-flight sessions run to
+// completion. A cluster shard flips this when a pushed route table no
+// longer lists it — drained or superseded — so it finishes what it owns
+// while new work routes elsewhere.
+func (s *Server) SetLameDuck(on bool) {
+	s.lameDuck.Store(on)
+}
+
+// LameDucking reports whether lame-duck mode is set.
+func (s *Server) LameDucking() bool { return s.lameDuck.Load() }
 
 func (s *Server) addListener(l net.Listener) bool {
 	s.mu.Lock()
@@ -314,9 +353,12 @@ func (s *Server) removeListener(l net.Listener) {
 	delete(s.listeners, l)
 }
 
-// register admits conn into the session set unless the server is draining
-// or at its connection limit.
+// register admits conn into the session set unless the server is
+// draining, lame-ducking, or at its connection limit.
 func (s *Server) register(conn net.Conn) bool {
+	if s.lameDuck.Load() {
+		return false
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed || len(s.conns) >= s.cfg.MaxConns {

@@ -78,7 +78,7 @@ func (s *Server) runSession(conn net.Conn) error {
 				}
 				return
 			}
-			s.framesIn.Add(1)
+			s.countFrameIn()
 			select {
 			case events <- inbound{msg: m}:
 			case <-stop:
@@ -161,16 +161,24 @@ func (s *Server) runSession(conn net.Conn) error {
 func (s *Server) adopt(conn net.Conn, r wire.Resume) (*session, error) {
 	sess := s.takeDetached(sessionKey{device: r.DeviceID, token: r.Token})
 	if sess == nil {
-		s.resumeMisses.Add(1)
+		s.count(func(c *Counters) { c.ResumeMisses++ })
 		return nil, fmt.Errorf("server: resume: no detached session for device %d", r.DeviceID)
 	}
 	if r.Got < sess.skipTo {
 		// The client confirms less than a previous resume did; the frames
-		// in between were pruned and cannot be regenerated here.
-		s.discarded.Add(1)
+		// in between were pruned and cannot be regenerated here. The taken
+		// session resolves as discarded, leaving the detached gauge in the
+		// same transition.
+		s.count(func(c *Counters) {
+			c.Discarded++
+			c.Detached--
+		})
 		return nil, fmt.Errorf("server: resume gap: client got %d, journal starts after %d", r.Got, sess.skipTo)
 	}
-	s.resumed.Add(1)
+	s.count(func(c *Counters) {
+		c.Resumed++
+		c.Detached--
+	})
 	sess.conn = conn
 	sess.w = wire.NewWriter(conn)
 	sess.broken = nil
@@ -253,10 +261,6 @@ func (sess *session) send(m wire.Message) {
 	}
 	if err := sess.write(m); err != nil {
 		sess.broken = err
-		return
-	}
-	if _, ok := m.(wire.Decision); ok {
-		sess.srv.decisions.Add(1)
 	}
 }
 
@@ -266,7 +270,8 @@ func (sess *session) write(m wire.Message) error {
 	if err := sess.w.Write(m); err != nil {
 		return fmt.Errorf("server: writing %s: %w", m.MsgType(), err)
 	}
-	sess.srv.framesOut.Add(1)
+	_, decision := m.(wire.Decision)
+	sess.srv.countFrameOut(decision)
 	return nil
 }
 

@@ -18,6 +18,11 @@ const headerSize = 6
 // (each entry is 16 bytes) but checked explicitly before allocating.
 const maxEntries = (MaxPayload - 11) / 16
 
+// maxRouteEntries bounds a RouteTable's shard count; each entry is at
+// least 10 bytes (uint64 id + empty-string length prefix), so the bound is
+// implied by MaxPayload but checked explicitly before allocating.
+const maxRouteEntries = (MaxPayload - 16) / 10
+
 // Append encodes m as one frame appended to dst and returns the extended
 // slice. Encoding is total on well-formed messages; it fails only on
 // overlong strings or entry lists.
@@ -78,6 +83,44 @@ func Append(dst []byte, m Message) ([]byte, error) {
 		dst = appendU64(dst, v.DataPackets)
 		dst = appendU64(dst, v.Heartbeats)
 		dst = appendU64(dst, v.ForcedFlush)
+	case ShardHello:
+		dst = appendU64(dst, v.ShardID)
+		if dst, err = appendString(dst, v.Addr); err != nil {
+			return nil, err
+		}
+	case ShardBeat:
+		dst = appendU64(dst, v.ShardID)
+		dst = appendU64(dst, v.Seq)
+	case ShardStats:
+		dst = appendU64(dst, v.ShardID)
+		dst = appendU64(dst, v.Accepted)
+		dst = appendU64(dst, v.Rejected)
+		dst = appendU64(dst, v.Active)
+		dst = appendU64(dst, v.Completed)
+		dst = appendU64(dst, v.Errored)
+		dst = appendU64(dst, v.Panics)
+		dst = appendU64(dst, v.Parked)
+		dst = appendU64(dst, v.Resumed)
+		dst = appendU64(dst, v.ResumeMisses)
+		dst = appendU64(dst, v.Discarded)
+		dst = appendU64(dst, v.Detached)
+		dst = appendU64(dst, v.FramesIn)
+		dst = appendU64(dst, v.FramesOut)
+		dst = appendU64(dst, v.Decisions)
+	case RouteTable:
+		if len(v.Shards) > maxRouteEntries {
+			return nil, fmt.Errorf("wire: route table with %d shards exceeds the %d-entry frame bound", len(v.Shards), maxRouteEntries)
+		}
+		dst = appendU64(dst, v.Epoch)
+		dst = appendI64(dst, v.Seed)
+		dst = binary.BigEndian.AppendUint32(dst, v.Vnodes)
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(v.Shards)))
+		for _, e := range v.Shards {
+			dst = appendU64(dst, e.ShardID)
+			if dst, err = appendString(dst, e.Addr); err != nil {
+				return nil, err
+			}
+		}
 	default:
 		return nil, fmt.Errorf("wire: cannot encode message type %T", m)
 	}
@@ -181,6 +224,41 @@ func decodeBody(typ Type, body []byte) (Message, error) {
 			Heartbeats:     d.u64(),
 			ForcedFlush:    d.u64(),
 		}
+	case TypeShardHello:
+		m = ShardHello{ShardID: d.u64(), Addr: d.str()}
+	case TypeShardBeat:
+		m = ShardBeat{ShardID: d.u64(), Seq: d.u64()}
+	case TypeShardStats:
+		m = ShardStats{
+			ShardID:      d.u64(),
+			Accepted:     d.u64(),
+			Rejected:     d.u64(),
+			Active:       d.u64(),
+			Completed:    d.u64(),
+			Errored:      d.u64(),
+			Panics:       d.u64(),
+			Parked:       d.u64(),
+			Resumed:      d.u64(),
+			ResumeMisses: d.u64(),
+			Discarded:    d.u64(),
+			Detached:     d.u64(),
+			FramesIn:     d.u64(),
+			FramesOut:    d.u64(),
+			Decisions:    d.u64(),
+		}
+	case TypeRouteTable:
+		rt := RouteTable{Epoch: d.u64(), Seed: d.i64(), Vnodes: d.u32()}
+		n := int(d.u16())
+		if d.err == nil && n > 0 {
+			if n > maxRouteEntries || len(d.b)-d.off < n*10 {
+				return nil, fmt.Errorf("wire: route table shard count %d exceeds remaining body", n)
+			}
+			rt.Shards = make([]RouteEntry, n)
+			for i := range rt.Shards {
+				rt.Shards[i] = RouteEntry{ShardID: d.u64(), Addr: d.str()}
+			}
+		}
+		m = rt
 	default:
 		return nil, fmt.Errorf("wire: unknown message type %d", uint8(typ))
 	}

@@ -59,6 +59,18 @@
 // The decision/metrics stream is a pure function of the inbound frame
 // stream: the codec and the session engine never read the wall clock or an
 // unseeded random source (DESIGN.md §10).
+//
+// # Cluster control protocol
+//
+// The same codec carries the control plane of a sharded cluster
+// (DESIGN.md §13). A shard's control connection to the controller opens
+// with ShardHello and then streams periodic ShardBeat and ShardStats
+// frames; the controller pushes a RouteTable after registration and again
+// on every epoch change. A client (load generator or admin tool) opens a
+// watch connection with Ack{Seq: epoch} — the epoch of the newest table it
+// already holds, 0 for none — and receives the current RouteTable plus a
+// push on every subsequent change. Control connections carry no session
+// frames and session connections carry no control frames.
 package wire
 
 import (
@@ -88,6 +100,10 @@ const (
 	TypeStatsSnapshot
 	TypeResume
 	TypeResumeOK
+	TypeShardHello
+	TypeShardBeat
+	TypeShardStats
+	TypeRouteTable
 )
 
 // String returns the type's protocol name.
@@ -109,6 +125,14 @@ func (t Type) String() string {
 		return "resume"
 	case TypeResumeOK:
 		return "resume_ok"
+	case TypeShardHello:
+		return "shard_hello"
+	case TypeShardBeat:
+		return "shard_beat"
+	case TypeShardStats:
+		return "shard_stats"
+	case TypeRouteTable:
+		return "route_table"
 	default:
 		return "invalid"
 	}
@@ -264,6 +288,92 @@ type ResumeOK struct {
 
 // MsgType implements Message.
 func (ResumeOK) MsgType() Type { return TypeResumeOK }
+
+// ShardHello registers an etraind shard with the cluster controller: the
+// first frame on a shard's control connection. The controller adds the
+// shard to the routing ring and answers with the current RouteTable
+// (DESIGN.md §13).
+type ShardHello struct {
+	// ShardID is the shard's stable cluster-unique identity; it, not the
+	// address, is what the consistent-hash ring is built from.
+	ShardID uint64
+	// Addr is the shard's advertised session address ("host:port") that
+	// clients dial for device sessions.
+	Addr string
+}
+
+// MsgType implements Message.
+func (ShardHello) MsgType() Type { return TypeShardHello }
+
+// ShardBeat is a shard's periodic liveness heartbeat on its control
+// connection — the cluster borrowing the paper's own trick of keeping a
+// channel warm with small periodic messages.
+type ShardBeat struct {
+	// ShardID echoes the registration.
+	ShardID uint64
+	// Seq is the shard's monotone beat counter, so the controller can see
+	// gaps (a shard that restarted re-registers and restarts the count).
+	Seq uint64
+}
+
+// MsgType implements Message.
+func (ShardBeat) MsgType() Type { return TypeShardBeat }
+
+// ShardStats is a shard's periodic counter snapshot, field for field the
+// server.Counters vocabulary. The shard snapshots its counters under one
+// lock (server.Stats), so a ShardStats frame is never torn: its fields
+// are one consistent instant of the shard's accounting.
+type ShardStats struct {
+	// ShardID echoes the registration.
+	ShardID uint64
+
+	Accepted     uint64 // connections admitted into sessions
+	Rejected     uint64 // connections refused (limit reached or draining)
+	Active       uint64 // sessions currently running
+	Completed    uint64 // sessions that ran the full protocol
+	Errored      uint64 // sessions ended by a protocol or transport error
+	Panics       uint64 // sessions ended by a recovered panic
+	Parked       uint64 // sessions parked after losing their transport
+	Resumed      uint64 // parked sessions adopted by a Resume handshake
+	ResumeMisses uint64 // Resume frames naming no parked session
+	Discarded    uint64 // parked sessions dropped without resume
+	Detached     uint64 // parked sessions currently awaiting resume
+	FramesIn     uint64 // frames decoded from clients
+	FramesOut    uint64 // frames written to clients
+	Decisions    uint64 // Decision frames among FramesOut
+}
+
+// MsgType implements Message.
+func (ShardStats) MsgType() Type { return TypeShardStats }
+
+// RouteEntry is one live shard in a RouteTable.
+type RouteEntry struct {
+	// ShardID is the ring member identity.
+	ShardID uint64
+	// Addr is the shard's session address clients dial.
+	Addr string
+}
+
+// RouteTable is the controller's device→shard routing state: the ring
+// parameters plus the live member set, stamped with a monotone epoch.
+// Routing is a pure function of (Seed, Vnodes, Shards), so every client
+// holding the same table routes every device identically — the table
+// carries the ring inputs, never the ring itself.
+type RouteTable struct {
+	// Epoch increments on every membership or drain change; clients use it
+	// to discard stale tables.
+	Epoch uint64
+	// Seed roots the ring's point hashes.
+	Seed int64
+	// Vnodes is the ring's virtual-node count per shard.
+	Vnodes uint32
+	// Shards lists the routable members in ascending ShardID order — the
+	// canonical order, so equal tables encode to equal bytes.
+	Shards []RouteEntry
+}
+
+// MsgType implements Message.
+func (RouteTable) MsgType() Type { return TypeRouteTable }
 
 // SessionToken derives the resume token of a session from its Hello: an
 // FNV-1a hash of the Hello's canonical frame encoding. Both ends compute

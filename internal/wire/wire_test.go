@@ -61,6 +61,28 @@ var goldenFrames = []struct {
 		msg:  StatsSnapshot{DeviceID: 1, EnergyJ: 12.75, AvgDelayS: 0.5, ViolationRatio: 0.125, DataPackets: 10, Heartbeats: 20, ForcedFlush: 2},
 		hex:  "0000003a0106000000000000000140298000000000003fe00000000000003fc0000000000000000000000000000a00000000000000140000000000000002",
 	},
+	{
+		name: "shard_hello",
+		msg:  ShardHello{ShardID: 2, Addr: "127.0.0.1:4810"},
+		hex:  "0000001a01090000000000000002000e3132372e302e302e313a34383130",
+	},
+	{
+		name: "shard_beat",
+		msg:  ShardBeat{ShardID: 2, Seq: 17},
+		hex:  "00000012010a00000000000000020000000000000011",
+	},
+	{
+		name: "shard_stats",
+		msg: ShardStats{ShardID: 2, Accepted: 5, Rejected: 1, Active: 2, Completed: 3,
+			Parked: 4, Resumed: 3, ResumeMisses: 1, Discarded: 1, Detached: 1,
+			FramesIn: 100, FramesOut: 90, Decisions: 40},
+		hex: "0000007a010b0000000000000002000000000000000500000000000000010000000000000002000000000000000300000000000000000000000000000000000000000000000400000000000000030000000000000001000000000000000100000000000000010000000000000064000000000000005a0000000000000028",
+	},
+	{
+		name: "route_table",
+		msg:  RouteTable{Epoch: 3, Seed: 42, Vnodes: 64, Shards: []RouteEntry{{ShardID: 1, Addr: "a:1"}, {ShardID: 2, Addr: "b:2"}}},
+		hex:  "00000032010c0000000000000003000000000000002a00000040000200000000000000010003613a3100000000000000020003623a32",
+	},
 }
 
 func TestGoldenEncoding(t *testing.T) {
@@ -103,6 +125,14 @@ func roundTripMessages() []Message {
 		Resume{DeviceID: ^uint64(0), Token: ^uint64(0), Got: 1<<64 - 2},
 		ResumeOK{},
 		StatsSnapshot{EnergyJ: -0.0, AvgDelayS: 1e300},
+		ShardHello{},
+		ShardHello{ShardID: ^uint64(0), Addr: "[::1]:4810"},
+		ShardBeat{ShardID: 1, Seq: ^uint64(0)},
+		ShardStats{},
+		ShardStats{ShardID: ^uint64(0), FramesIn: ^uint64(0), Decisions: 1},
+		RouteTable{},
+		RouteTable{Epoch: ^uint64(0), Seed: -1, Vnodes: ^uint32(0),
+			Shards: []RouteEntry{{ShardID: 9, Addr: ""}, {ShardID: 8, Addr: "host.example:1"}}},
 	}
 }
 

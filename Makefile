@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz lint vet determinism bench-json bench-server bench-cluster gate fleet-smoke serve load chaos scenario cluster clean
+.PHONY: all build test race fuzz lint vet determinism bench-json bench-server bench-cluster gate fleet-smoke serve load chaos scenario diurnal cluster clean
 
 all: build test lint
 
@@ -99,6 +99,23 @@ scenario:
 	diff -u /tmp/etrain-scenario-w1.txt /tmp/etrain-scenario-w8.txt
 	! /tmp/etrain-sim run -theta 0 scenarios/clean-baseline.yaml >/dev/null
 
+# Diurnal + radio suite, same as the CI diurnal job: the workload-curve
+# and DRX packages under the race detector plus the fleet/scenario
+# diurnal determinism tests, then the byte-compare smokes — a
+# week-compressed 2k-device diurnal fleet under LTE DRX and the
+# diurnal-week scenario must render identically at 1 and 8 workers.
+diurnal:
+	$(GO) test -race ./internal/diurnal ./internal/radio -count=1
+	$(GO) test -race ./internal/fleet ./internal/scenario -run Diurnal -count=1
+	$(GO) build -o /tmp/etrain-fleet ./cmd/etrain-fleet
+	/tmp/etrain-fleet -devices 2000 -workers 1 -quiet -diurnal week -time-scale 1008 -radio lte-drx > /tmp/etrain-diurnal-w1.txt
+	/tmp/etrain-fleet -devices 2000 -workers 8 -quiet -diurnal week -time-scale 1008 -radio lte-drx > /tmp/etrain-diurnal-w8.txt
+	diff -u /tmp/etrain-diurnal-w1.txt /tmp/etrain-diurnal-w8.txt
+	$(GO) build -o /tmp/etrain-sim ./cmd/etrain-sim
+	/tmp/etrain-sim run -workers 1 scenarios/diurnal-week.yaml > /tmp/etrain-diurnal-scen-w1.txt
+	/tmp/etrain-sim run -workers 8 scenarios/diurnal-week.yaml > /tmp/etrain-diurnal-scen-w8.txt
+	diff -u /tmp/etrain-diurnal-scen-w1.txt /tmp/etrain-diurnal-scen-w8.txt
+
 # Cluster suite, same as the CI cluster job: the control-plane package
 # under the race detector — ring determinism and ~1/N movement,
 # controller membership/drain/sweep, the in-process failover
@@ -165,3 +182,5 @@ clean:
 	rm -f /tmp/etrain-fleet /tmp/etrain-fleet-w1.txt /tmp/etrain-fleet-w8.txt
 	rm -f /tmp/etrain-load-report.json /tmp/etrain-cluster-report.json
 	rm -f /tmp/etrain-sim /tmp/etrain-scenario-w1.txt /tmp/etrain-scenario-w8.txt
+	rm -f /tmp/etrain-diurnal-w1.txt /tmp/etrain-diurnal-w8.txt
+	rm -f /tmp/etrain-diurnal-scen-w1.txt /tmp/etrain-diurnal-scen-w8.txt

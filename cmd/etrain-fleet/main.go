@@ -29,7 +29,9 @@ import (
 	"syscall"
 	"time"
 
+	"etrain/internal/diurnal"
 	"etrain/internal/fleet"
+	"etrain/internal/radio"
 	"etrain/internal/workload"
 )
 
@@ -47,9 +49,19 @@ func main() {
 	every := flag.Int("checkpoint-every", 8, "snapshot after every n completed shards (with -checkpoint)")
 	resume := flag.Bool("resume", false, "resume from -checkpoint instead of starting fresh")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
+	diurnalFlag := flag.String("diurnal", "", "diurnal activity profile: "+strings.Join(diurnal.PresetNames(), ", ")+" (empty: none)")
+	timeScale := flag.Float64("time-scale", 0, "diurnal clock compression, e.g. 1008 replays a week in 10 min (0: profile default)")
+	phaseJitter := flag.Duration("phase-jitter", -1, "per-device diurnal phase-offset span (negative: profile default)")
+	diurnalStart := flag.Duration("diurnal-start", -1, "where on the diurnal clock sim time zero lands (negative: profile default)")
+	radioFlag := flag.String("radio", "", "radio generation for energy accounting: "+strings.Join(radio.ModelNames(), ", ")+" (empty: 3G RRC)")
 	flag.Parse()
 
 	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "etrain-fleet:", err)
+		os.Exit(2)
+	}
+	prof, err := parseDiurnal(*diurnalFlag, *timeScale, *phaseJitter, *diurnalStart)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "etrain-fleet:", err)
 		os.Exit(2)
@@ -67,6 +79,8 @@ func main() {
 		CheckpointPath:  *checkpoint,
 		CheckpointEvery: *every,
 		Resume:          *resume,
+		Diurnal:         prof,
+		Radio:           *radioFlag,
 	}
 	if err := run(cfg, *quiet); err != nil {
 		if errors.Is(err, fleet.ErrHalted) {
@@ -125,6 +139,32 @@ func run(cfg fleet.Config, quiet bool) error {
 		return err
 	}
 	return rep.Fprint(os.Stdout)
+}
+
+// parseDiurnal resolves the -diurnal preset and applies the clock
+// overrides. The knob flags require -diurnal; negative durations mean
+// "keep the profile's default".
+func parseDiurnal(name string, timeScale float64, phaseJitter, start time.Duration) (*diurnal.Profile, error) {
+	if name == "" {
+		if timeScale != 0 || phaseJitter >= 0 || start >= 0 {
+			return nil, fmt.Errorf("-time-scale/-phase-jitter/-diurnal-start require -diurnal")
+		}
+		return nil, nil
+	}
+	prof, err := diurnal.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	if timeScale != 0 {
+		prof.TimeScale = timeScale
+	}
+	if phaseJitter >= 0 {
+		prof.PhaseJitter = phaseJitter
+	}
+	if start >= 0 {
+		prof.Start = start
+	}
+	return prof, prof.Validate()
 }
 
 // parseMix converts the -mix flag ("class=weight,...") to a class mix.

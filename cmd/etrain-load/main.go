@@ -51,6 +51,7 @@ import (
 
 	"etrain/internal/client"
 	"etrain/internal/cluster"
+	"etrain/internal/diurnal"
 	"etrain/internal/faultnet"
 	"etrain/internal/fleet"
 	"etrain/internal/parallel"
@@ -74,8 +75,15 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 1, "seed rooting the deterministic fault schedule")
 	jsonPath := flag.String("json", "", "also write the report as JSON to this file")
 	quiet := flag.Bool("quiet", false, "suppress the per-run header")
+	diurnalFlag := flag.String("diurnal", "", "diurnal activity profile shaping device replays (flat, week, weekday, weekend; empty: none)")
+	timeScale := flag.Float64("time-scale", 0, "diurnal clock compression (0: profile default; requires -diurnal)")
 	flag.Parse()
 
+	prof, err := parseDiurnal(*diurnalFlag, *timeScale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "etrain-load:", err)
+		os.Exit(2)
+	}
 	if err := run(config{
 		addr:      *addr,
 		cluster:   *clusterAddr,
@@ -90,6 +98,7 @@ func main() {
 		faultSeed: *faultSeed,
 		jsonPath:  *jsonPath,
 		quiet:     *quiet,
+		diurnal:   prof,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "etrain-load:", err)
 		os.Exit(1)
@@ -111,6 +120,26 @@ type config struct {
 	faultSeed int64
 	jsonPath  string
 	quiet     bool
+	diurnal   *diurnal.Profile
+}
+
+// parseDiurnal resolves the -diurnal preset with the -time-scale
+// override applied.
+func parseDiurnal(name string, timeScale float64) (*diurnal.Profile, error) {
+	if name == "" {
+		if timeScale != 0 {
+			return nil, fmt.Errorf("-time-scale requires -diurnal")
+		}
+		return nil, nil
+	}
+	prof, err := diurnal.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	if timeScale != 0 {
+		prof.TimeScale = timeScale
+	}
+	return prof, prof.Validate()
 }
 
 // report is the machine-readable run summary -json emits; field names are
@@ -257,7 +286,7 @@ func run(cfg config) error {
 	//lint:ignore notime load-harness boundary: throughput and latency are wall-clock measurements of the service; the sessions themselves are deterministic
 	started := time.Now()
 	err = parallel.ForEach(parallel.NewLimit(cfg.conns), cfg.devices, func(i int) error {
-		dev, err := fleet.SynthesizeDevice(cfg.seed, pop, i, cfg.horizon)
+		dev, err := fleet.SynthesizeDeviceOpts(cfg.seed, pop, i, cfg.horizon, fleet.DeviceOptions{Diurnal: cfg.diurnal})
 		if err != nil {
 			return err
 		}

@@ -40,6 +40,7 @@ func cmdRun(args []string, stdout io.Writer) error {
 	workers := fs.Int("workers", -1, "device workers (-1 = one per CPU, 0/1 = sequential); never changes the report")
 	jsonOut := fs.Bool("json", false, "emit the report as JSON instead of text")
 	theta := fs.Float64("theta", -1, "override the scenario's Θ (≥ 0; negative = use the scenario's)")
+	timeScale := fs.Float64("time-scale", 0, "override every diurnal_profile's time scale (0 = use the scenario's)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -58,6 +59,18 @@ func cmdRun(args []string, stdout io.Writer) error {
 	if *theta >= 0 {
 		t := *theta
 		s.Theta = &t
+	}
+	if *timeScale != 0 {
+		overridden := false
+		for i := range s.Timeline {
+			if s.Timeline[i].Action == scenario.ActionDiurnalProfile {
+				s.Timeline[i].TimeScale = *timeScale
+				overridden = true
+			}
+		}
+		if !overridden {
+			return fmt.Errorf("%s: -time-scale set but the scenario declares no diurnal_profile", path)
+		}
 	}
 	rep, err := scenario.Run(s, scenario.Options{Workers: *workers})
 	if err != nil {

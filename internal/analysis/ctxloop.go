@@ -18,7 +18,10 @@ import (
 // whose route-table pushes fan out a goroutine per member that the
 // controller's WaitGroup must collect before shutdown. Stray goroutines
 // here are exactly the ones that can outlive a sweep (or a drained
-// server) and race its result slots.
+// server) and race its result slots. The diurnal workload engine and the
+// radio models are patrolled too: both sit on the synthesis path whose
+// results must fold in device-index order, so any future fan-out inside
+// them is held to the same join discipline from day one.
 var fanOutPackages = []string{
 	"etrain/internal/parallel",
 	"etrain/internal/sim",
@@ -29,6 +32,8 @@ var fanOutPackages = []string{
 	"etrain/internal/client",
 	"etrain/internal/scenario",
 	"etrain/internal/cluster",
+	"etrain/internal/diurnal",
+	"etrain/internal/radio",
 	"etrain/cmd/etrain-ctl",
 }
 

@@ -76,6 +76,25 @@ func TestCtlPatrol(t *testing.T) {
 		"etrain/cmd/etrain-ctl")
 }
 
+// TestDiurnalPatrol holds the diurnal workload engine to the purity
+// contract: every draw is a function of (config, device index, sim
+// time), so the fixture carries wall-clock anchors, global-PRNG phase
+// jitter and unjoined sampling fan-out for the combined patrol.
+func TestDiurnalPatrol(t *testing.T) {
+	analysistest.RunAll(t, analysistest.TestData(t),
+		[]*analysis.Analyzer{analysis.CtxLoop, analysis.NoTime, analysis.NoRand, analysis.ErrFlow},
+		"etrain/internal/diurnal")
+}
+
+// TestRadioPatrol extends the same patrol to the radio models: DRX
+// energy accounting must replay byte-identically from the timeline, and
+// a rendered power trace is a write path whose errors must be consumed.
+func TestRadioPatrol(t *testing.T) {
+	analysistest.RunAll(t, analysistest.TestData(t),
+		[]*analysis.Analyzer{analysis.CtxLoop, analysis.NoTime, analysis.NoRand, analysis.ErrFlow},
+		"etrain/internal/radio")
+}
+
 func TestHotAlloc(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t), analysis.HotAlloc,
 		"hotalloc", "hotallocpkg")

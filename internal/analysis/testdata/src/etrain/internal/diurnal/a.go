@@ -1,0 +1,57 @@
+// Package diurnal stands in for the real etrain/internal/diurnal: every
+// draw is a pure function of (config, device index, sim time), so the
+// workload engine faces the determinism patrol — no wall clock behind
+// the diurnal anchor, no global PRNG behind the phase jitter, and
+// goroutine hygiene in the per-device sampling fan-out.
+package diurnal
+
+import (
+	"math/rand" // want `import of math/rand outside internal/randx; derive a deterministic stream with randx.New/randx.Derive instead`
+	"time"
+)
+
+// anchorToday pins the diurnal clock's Start to the host's wall clock:
+// the same fleet config would land on a different curve phase every run.
+func anchorToday() time.Duration {
+	return time.Duration(time.Now().UnixNano()) % (24 * time.Hour) // want `time.Now reads the wall clock outside the real-time boundary`
+}
+
+// jitterPhase draws the per-device phase offset from the global PRNG
+// instead of a randx stream derived from (deviceSeed, namespace): the
+// offset stops being a pure function of the device index.
+func jitterPhase(span time.Duration) time.Duration {
+	return time.Duration(rand.Int63n(int64(span)))
+}
+
+// settleEnvelope paces NHPP thinning retries with a real sleep, coupling
+// synthesis wall time to the curve's peak-to-mean ratio.
+func settleEnvelope(gap time.Duration) {
+	time.Sleep(gap) // want `time.Sleep reads the wall clock outside the real-time boundary`
+}
+
+// sampleAsync fans per-device sampling out with fire-and-forget
+// goroutines that capture the loop index: arrivals land in completion
+// order instead of device order, and nothing joins the stragglers.
+func sampleAsync(samplers []func()) {
+	for i := range samplers {
+		go func() { // want `goroutine has no join or cancellation path`
+			samplers[i]() // want `goroutine closure captures loop variable i`
+		}()
+	}
+}
+
+// sampleOrdered is the sanctioned shape: the sampler enters the
+// goroutine as an argument and the fan-out joins before the index-order
+// fold reads any result.
+func sampleOrdered(samplers []func()) {
+	done := make(chan struct{}, len(samplers))
+	for _, sample := range samplers {
+		go func(sample func()) {
+			sample()
+			done <- struct{}{}
+		}(sample)
+	}
+	for range samplers {
+		<-done
+	}
+}

@@ -1,0 +1,54 @@
+// Package radio stands in for the real etrain/internal/radio: energy
+// accounting must be a pure function of the transmission timeline and
+// the model parameters, and a rendered power trace is a write path — so
+// the DRX layer faces the determinism patrol plus errflow at once.
+package radio
+
+import (
+	"io"
+	"math/rand" // want `import of math/rand outside internal/randx; derive a deterministic stream with randx.New/randx.Derive instead`
+	"time"
+)
+
+// rrcReleaseNow stamps the RRC release decision from the wall clock
+// instead of the sim timeline: two replays of one trace diverge.
+func rrcReleaseNow(lastTx time.Time) time.Duration {
+	return time.Since(lastTx) // want `time.Since reads the wall clock outside the real-time boundary`
+}
+
+// jitterOnDuration perturbs the DRX on-duration with the global PRNG:
+// tail energy stops being reproducible from the model parameters.
+func jitterOnDuration(on time.Duration) time.Duration {
+	return on + time.Duration(rand.Int63n(int64(on)))
+}
+
+// dumpTrace renders a power trace and drops every write error: a torn
+// trace file looks complete downstream.
+func dumpTrace(w io.Writer, states []byte) {
+	for _, s := range states {
+		w.Write([]byte{s}) // want `error from io.Writer.Write is dropped`
+	}
+	_, _ = w.Write([]byte{'\n'}) // want `error from io.Writer.Write is dropped`
+}
+
+// accountAsync integrates per-cycle energy on fire-and-forget goroutines
+// capturing the loop index: the fold order races the machine's state.
+func accountAsync(cycles []func()) {
+	for i := range cycles {
+		go func() { // want `goroutine has no join or cancellation path`
+			cycles[i]() // want `goroutine closure captures loop variable i`
+		}()
+	}
+}
+
+// dumpTraceChecked is the sanctioned write path: the first error is
+// returned and the caller can park or retry the capture.
+func dumpTraceChecked(w io.Writer, states []byte) error {
+	for _, s := range states {
+		if _, err := w.Write([]byte{s}); err != nil {
+			return err
+		}
+	}
+	_, err := w.Write([]byte{'\n'})
+	return err
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"etrain/internal/diurnal"
+	"etrain/internal/fleet"
+)
+
+// FigDiurnal sweeps one fleet across radio generations and day phases:
+// the same 10-minute device session is replayed with the week activity
+// profile anchored at night, working-day and Friday-evening starts, under
+// the 3G RRC tail and the LTE connected-mode DRX machine. Per cell it
+// reports the per-class saving deciles, showing how eTrain's headroom
+// moves with both the workload's time of day and the radio's tail shape
+// (DRX tails are shorter, so piggybacking saves less in absolute terms
+// but the evening cargo peak still dominates the night trough).
+func FigDiurnal(opts Options) (*Table, error) {
+	const devices = 48
+	const shardSize = 16
+	const theta = 4.0
+	// TimeScale 36 spreads the 10-minute session over 6 diurnal hours, so
+	// each phase window stays inside its curve region.
+	const timeScale = 36
+	phases := []struct {
+		name  string
+		start time.Duration
+	}{
+		{"night", 3 * time.Hour},     // Monday 03:00, deep trough
+		{"day", 34 * time.Hour},      // Tuesday 10:00, working plateau
+		{"evening", 114 * time.Hour}, // Friday 18:00, weekly peak
+	}
+	radios := []string{"3g", "lte-drx"}
+
+	tbl := &Table{
+		ID:      "fig-diurnal",
+		Title:   "Diurnal phase x radio generation: per-class saving deciles (week profile, time scale 36)",
+		Columns: []string{"radio", "phase", "class", "devices", "without_J", "with_J", "saving_p10", "saving_p50", "saving_p90"},
+	}
+	for _, radioName := range radios {
+		for _, phase := range phases {
+			prof, err := diurnal.ByName("week")
+			if err != nil {
+				return nil, fmt.Errorf("fig-diurnal: %w", err)
+			}
+			prof.TimeScale = timeScale
+			prof.Start = phase.start
+			rep, err := fleet.Run(fleet.Config{
+				Devices:   devices,
+				ShardSize: shardSize,
+				Workers:   opts.workersOr1(),
+				Seed:      opts.Seed + 14,
+				Theta:     theta,
+				K:         20,
+				Diurnal:   prof,
+				Radio:     radioName,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig-diurnal %s/%s: %w", radioName, phase.name, err)
+			}
+			tbl.AddNote("%s/%s config_hash=%s", radioName, phase.name, rep.ConfigHash)
+			rows := append(append([]fleet.ClassRow(nil), rep.Classes...), fleet.ClassRow{Label: "all", Agg: rep.Total})
+			for _, row := range rows {
+				if row.Agg.Devices == 0 {
+					continue
+				}
+				var deciles [3]float64
+				for i, p := range [3]float64{10, 50, 90} {
+					v, err := row.Agg.SavingSketch.Quantile(p)
+					if err != nil {
+						return nil, fmt.Errorf("fig-diurnal %s/%s class %s: %w", radioName, phase.name, row.Label, err)
+					}
+					deciles[i] = v
+				}
+				tbl.AddRow(radioName, phase.name, row.Label, row.Agg.Devices,
+					row.Agg.WithoutJ.Mean(), row.Agg.WithJ.Mean(),
+					fmt.Sprintf("%.1f%%", deciles[0]*100),
+					fmt.Sprintf("%.1f%%", deciles[1]*100),
+					fmt.Sprintf("%.1f%%", deciles[2]*100))
+			}
+		}
+	}
+	tbl.AddNote("same fleet seed per cell: only the diurnal anchor and the radio model change between rows.")
+	tbl.AddNote("lte-drx tails are ~half the 3g rrc tail energy, so absolute savings shrink while the evening/night ordering persists.")
+	return tbl, nil
+}

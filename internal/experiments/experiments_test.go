@@ -370,8 +370,8 @@ func TestFig11ActivenessOrdering(t *testing.T) {
 
 func TestRegistryCoversAllExperiments(t *testing.T) {
 	all := All()
-	if len(all) != 16 {
-		t.Fatalf("registry has %d entries, want 16", len(all))
+	if len(all) != 17 {
+		t.Fatalf("registry has %d entries, want 17", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {

@@ -39,6 +39,7 @@ func All() []Entry {
 		{"fig10c", "larger shared deadlines save more energy", Fig10c},
 		{"fig11", "active users save the most energy (23.1% vs 13.3%)", Fig11},
 		{"fig11pop", "population-scale fig11: per-class saving deciles via the fleet engine", Fig11Pop},
+		{"fig-diurnal", "diurnal fleet: per-class saving deciles across radio generations and day phases", FigDiurnal},
 	}
 }
 

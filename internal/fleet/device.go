@@ -8,6 +8,7 @@ import (
 	"etrain/internal/bandwidth"
 	"etrain/internal/baseline"
 	"etrain/internal/core"
+	"etrain/internal/diurnal"
 	"etrain/internal/heartbeat"
 	"etrain/internal/profile"
 	"etrain/internal/radio"
@@ -55,6 +56,17 @@ type Device struct {
 	BandwidthSeed int64
 	// Horizon is the device's simulated span.
 	Horizon time.Duration
+	// Beats, when non-nil, overrides the trains' generated schedule (set
+	// when a diurnal profile's scheduled events modulate the cadence).
+	Beats []heartbeat.Beat
+}
+
+// DeviceOptions parameterizes synthesis beyond the device's identity.
+type DeviceOptions struct {
+	// Diurnal, when non-nil, shapes the device's session and background
+	// cargo by its class activity curve and applies the profile's
+	// scheduled events to cargo rates and heartbeat cadence.
+	Diurnal *diurnal.Profile
 }
 
 // SynthesizeDevice derives device index of the fleet seeded by fleetSeed.
@@ -62,6 +74,15 @@ type Device struct {
 // seed — so the result is a pure function of (fleetSeed, pop, index,
 // horizon) and is byte-compatible with what Run simulates.
 func SynthesizeDevice(fleetSeed int64, pop *workload.Population, index int, horizon time.Duration) (Device, error) {
+	return SynthesizeDeviceOpts(fleetSeed, pop, index, horizon, DeviceOptions{})
+}
+
+// SynthesizeDeviceOpts is SynthesizeDevice with options. Without a
+// diurnal profile it is draw-for-draw identical to the legacy path; with
+// one, the same streams feed the diurnal samplers (the per-device phase
+// comes from randx.Derive and consumes no stream state), so attaching a
+// profile never perturbs any other device.
+func SynthesizeDeviceOpts(fleetSeed int64, pop *workload.Population, index int, horizon time.Duration, opts DeviceOptions) (Device, error) {
 	seed := randx.Derive(fleetSeed, deviceNamespace, uint64(index))
 	// Synthesis streams are short-lived and fully consumed here, so they
 	// come from the source pool: same bits as New/Split, no per-device
@@ -69,16 +90,24 @@ func SynthesizeDevice(fleetSeed int64, pop *workload.Population, index int, hori
 	src := randx.Acquire(seed)
 	defer src.Release()
 	classIndex, class := pop.Pick(src.Float64())
+	var sampler *diurnal.Sampler
+	if opts.Diurnal != nil {
+		sampler = opts.Diurnal.ForDevice(class.String(), seed)
+	}
 	trains := deviceTrains(src)
 	sessSrc := src.SplitPooled()
-	trace := workload.SynthesizeSession(sessSrc, fmt.Sprintf("device-%d", index), class, horizon)
+	trace := workload.SynthesizeSessionDiurnal(sessSrc, fmt.Sprintf("device-%d", index), class, horizon, sampler)
 	sessSrc.Release()
 	session := workload.PacketsFromTrace(trace, profile.Weibo(sessionDeadline))
 	genSrc := src.SplitPooled()
-	background, err := workload.Generate(genSrc, backgroundSpecs(class), horizon)
+	background, err := workload.GenerateDiurnal(genSrc, backgroundSpecs(class), horizon, sampler)
 	genSrc.Release()
 	if err != nil {
 		return Device{}, err
+	}
+	var beats []heartbeat.Beat
+	if sampler != nil {
+		beats = sampler.Merge(trains, horizon)
 	}
 	return Device{
 		Index:         index,
@@ -89,6 +118,7 @@ func SynthesizeDevice(fleetSeed int64, pop *workload.Population, index int, hori
 		Packets:       mergePackets(session, background),
 		BandwidthSeed: src.Int63(), // what Split would seed the bandwidth stream with
 		Horizon:       horizon,
+		Beats:         beats,
 	}, nil
 }
 
@@ -102,6 +132,7 @@ func (d Device) SimConfig() (sim.Config, error) {
 	return sim.Config{
 		Horizon:   d.Horizon,
 		Trains:    d.Trains,
+		Beats:     d.Beats,
 		Packets:   d.Packets,
 		Bandwidth: bw,
 		Power:     radio.GalaxyS43G(),
@@ -116,7 +147,7 @@ func (d Device) SimConfig() (sim.Config, error) {
 //
 //etrain:hotpath
 func runDevice(cfg *Config, pop *workload.Population, i int) (deviceOutcome, error) {
-	dev, err := SynthesizeDevice(cfg.Seed, pop, i, cfg.Horizon)
+	dev, err := SynthesizeDeviceOpts(cfg.Seed, pop, i, cfg.Horizon, DeviceOptions{Diurnal: cfg.Diurnal})
 	if err != nil {
 		return deviceOutcome{}, err
 	}
@@ -124,6 +155,7 @@ func runDevice(cfg *Config, pop *workload.Population, i int) (deviceOutcome, err
 	if err != nil {
 		return deviceOutcome{}, err
 	}
+	base.Radio = cfg.radioModel
 	without := base
 	without.Strategy = baseline.NewImmediate()
 	resWithout, err := sim.Run(without)

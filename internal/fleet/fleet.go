@@ -26,7 +26,9 @@ import (
 	"strings"
 	"time"
 
+	"etrain/internal/diurnal"
 	"etrain/internal/parallel"
+	"etrain/internal/radio"
 	"etrain/internal/randx"
 	"etrain/internal/stats"
 	"etrain/internal/workload"
@@ -77,6 +79,19 @@ type Config struct {
 	// SketchAlpha is the relative accuracy of the quantile sketches
 	// (default stats.DefaultSketchAlpha).
 	SketchAlpha float64
+	// Diurnal, when non-nil, shapes every device's cargo and heartbeat
+	// cadence by the profile's activity curves and scheduled events. It is
+	// part of the run's identity (the profile hash enters the config hash),
+	// and a nil profile reproduces the legacy fleet byte for byte.
+	Diurnal *diurnal.Profile
+	// Radio, when non-empty, names the radio generation every device's
+	// energy is accounted under (radio.ModelByName: "3g", "lte-drx",
+	// "nr-drx", ...). Empty keeps the legacy 3G RRC power model and the
+	// legacy config hash.
+	Radio string
+
+	// radioModel is Radio resolved by normalize.
+	radioModel radio.Model
 
 	// CheckpointPath, when non-empty, is where shard-boundary snapshots
 	// are written (atomically, via a temp file and rename). A final
@@ -148,6 +163,18 @@ func (c Config) normalize() (Config, *workload.Population, error) {
 	if c.Resume && c.CheckpointPath == "" {
 		return c, nil, fmt.Errorf("fleet: Resume set without a checkpoint path")
 	}
+	if c.Diurnal != nil {
+		if err := c.Diurnal.Validate(); err != nil {
+			return c, nil, fmt.Errorf("fleet: %w", err)
+		}
+	}
+	if c.Radio != "" {
+		m, err := radio.ModelByName(c.Radio)
+		if err != nil {
+			return c, nil, fmt.Errorf("fleet: %w", err)
+		}
+		c.radioModel = m
+	}
 	pop, err := workload.NewPopulation(c.Mix)
 	if err != nil {
 		return c, nil, err
@@ -185,6 +212,14 @@ func (c Config) hash() string {
 	canonical := fmt.Sprintf(
 		"fleet/v%d devices=%d shard_size=%d seed=%d horizon=%s theta=%g k=%d alpha=%g mix=%s",
 		checkpointVersion, c.Devices, c.ShardSize, c.Seed, c.Horizon, c.Theta, c.K, c.SketchAlpha, mix.String())
+	// Diurnal and radio tokens appear only when set, so legacy configs keep
+	// their hashes and old checkpoints stay resumable.
+	if c.Radio != "" {
+		canonical += fmt.Sprintf(" radio=%s", c.Radio)
+	}
+	if c.Diurnal != nil {
+		canonical += fmt.Sprintf(" diurnal=%s", c.Diurnal.Hash())
+	}
 	return fmt.Sprintf("%016x", randx.DeriveString(canonical))
 }
 

@@ -32,6 +32,10 @@ type Report struct {
 	K           int
 	Seed        int64
 	SketchAlpha float64
+	// Radio and Diurnal echo the optional radio generation and diurnal
+	// profile name; empty in a legacy run.
+	Radio   string
+	Diurnal string
 	// ConfigHash names the run's simulation identity (Config.hash).
 	ConfigHash string
 	// Classes holds one row per mix entry, in mix order.
@@ -52,7 +56,11 @@ func buildReport(cfg *Config, hash string, aggs []*ShardAggregate) (*Report, err
 		K:           cfg.K,
 		Seed:        cfg.Seed,
 		SketchAlpha: cfg.SketchAlpha,
+		Radio:       cfg.Radio,
 		ConfigHash:  hash,
+	}
+	if cfg.Diurnal != nil {
+		r.Diurnal = cfg.Diurnal.Name
 	}
 	var err error
 	if r.Total, err = newClassAggregate(cfg.SketchAlpha); err != nil {
@@ -89,10 +97,18 @@ func buildReport(cfg *Config, hash string, aggs []*ShardAggregate) (*Report, err
 
 // Fprint renders the report as a deterministic aligned-text table.
 func (r *Report) Fprint(w io.Writer) error {
-	if _, err := fmt.Fprintf(w,
-		"eTrain fleet report\ndevices=%d shards=%d shard_size=%d horizon=%s theta=%g k=%d seed=%d alpha=%g\nconfig_hash=%s\n\n",
-		r.Devices, r.Shards, r.ShardSize, r.Horizon, r.Theta, r.K, r.Seed, r.SketchAlpha, r.ConfigHash,
-	); err != nil {
+	header := fmt.Sprintf(
+		"eTrain fleet report\ndevices=%d shards=%d shard_size=%d horizon=%s theta=%g k=%d seed=%d alpha=%g",
+		r.Devices, r.Shards, r.ShardSize, r.Horizon, r.Theta, r.K, r.Seed, r.SketchAlpha)
+	// Optional tokens appear only when set: a legacy run's rendering is
+	// byte-for-byte what it was before diurnal/radio existed.
+	if r.Radio != "" {
+		header += fmt.Sprintf(" radio=%s", r.Radio)
+	}
+	if r.Diurnal != "" {
+		header += fmt.Sprintf(" diurnal=%s", r.Diurnal)
+	}
+	if _, err := fmt.Fprintf(w, "%s\nconfig_hash=%s\n\n", header, r.ConfigHash); err != nil {
 		return err
 	}
 	tw := tabwriter.NewWriter(w, 0, 0, 2, ' ', 0)

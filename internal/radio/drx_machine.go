@@ -1,0 +1,147 @@
+package radio
+
+import "time"
+
+// DRXMachine is the live LTE/5G connected-mode DRX machine, the Machine
+// counterpart for DRXModel: fed transmission starts and ends, it walks
+// PSM → tx → ACTIVE → short cDRX → long cDRX → PSM in virtual time,
+// notifying listeners of every transition at its true instant. Its
+// state at any instant agrees with DRXModel.TailStateAt relative to the
+// last transmission end (property-tested).
+type DRXMachine struct {
+	model   DRXModel
+	state   State
+	stateAt time.Duration
+	// txEnd anchors the tail: every demotion boundary is an offset from
+	// the end of the last transmission.
+	txEnd     time.Duration
+	listeners []func(Transition)
+	// transmitting tracks nesting so overlapping notifications (which the
+	// serialized link never produces, but defensive) do not corrupt state.
+	transmitting int
+	transitions  int
+}
+
+// NewDRXMachine returns a machine at the idle baseline (PSM) at time zero.
+func NewDRXMachine(model DRXModel) *DRXMachine {
+	return &DRXMachine{model: model, state: StatePSM}
+}
+
+// Subscribe registers a listener invoked synchronously on every
+// transition, in subscription order.
+func (m *DRXMachine) Subscribe(fn func(Transition)) {
+	m.listeners = append(m.listeners, fn)
+}
+
+// State returns the machine's state at the given instant, accounting for
+// DRX demotions that elapsed since the last event.
+func (m *DRXMachine) State(now time.Duration) State {
+	m.advance(now)
+	return m.state
+}
+
+// Transitions reports how many state changes have occurred.
+func (m *DRXMachine) Transitions() int { return m.transitions }
+
+// Power returns the instantaneous extra power at now.
+func (m *DRXMachine) Power(now time.Duration) float64 {
+	return m.model.Power(m.State(now))
+}
+
+// BeginTransmission moves the machine to the transmitting state.
+func (m *DRXMachine) BeginTransmission(now time.Duration) {
+	m.advance(now)
+	m.transmitting++
+	if m.state != StateTransmitting {
+		m.setState(now, StateTransmitting)
+	}
+}
+
+// EndTransmission marks a transmission's end; the tail (inactivity
+// timer, then DRX cycling) starts now.
+func (m *DRXMachine) EndTransmission(now time.Duration) {
+	m.advance(now)
+	if m.transmitting > 0 {
+		m.transmitting--
+	}
+	if m.transmitting == 0 && m.state == StateTransmitting {
+		m.txEnd = now
+		m.setState(now, m.model.TailStateAt(0))
+	}
+}
+
+// nextTailBoundary returns the next offset after off at which the tail
+// state can change, or a negative value once the tail is exhausted.
+func (dm DRXModel) nextTailBoundary(off time.Duration) time.Duration {
+	if off >= dm.ReleaseAfter {
+		return -1
+	}
+	if off < dm.InactivityTimer {
+		return minDuration(dm.InactivityTimer, dm.ReleaseAfter)
+	}
+	shortEnd := dm.InactivityTimer + dm.shortSpan()
+	var cycleStart, cycle time.Duration
+	if off < shortEnd {
+		cycle = dm.ShortCycle
+		cycleStart = dm.InactivityTimer + (off-dm.InactivityTimer)/cycle*cycle
+	} else {
+		cycle = dm.LongCycle
+		cycleStart = shortEnd + (off-shortEnd)/cycle*cycle
+	}
+	next := cycleStart + cycle
+	if edge := cycleStart + dm.OnDuration; off < edge {
+		next = edge
+	}
+	return minDuration(next, dm.ReleaseAfter)
+}
+
+func minDuration(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// advance applies the DRX demotions that elapsed between the last event
+// and now, emitting the corresponding transitions at their true
+// instants. Boundaries that do not change the state (e.g. the seam
+// between two on-durations) advance the cursor silently.
+func (m *DRXMachine) advance(now time.Duration) {
+	if m.transmitting > 0 || now <= m.stateAt {
+		return
+	}
+	if m.state == StatePSM || m.state == StateTransmitting {
+		return
+	}
+	off := m.stateAt - m.txEnd
+	for {
+		next := m.model.nextTailBoundary(off)
+		if next < 0 || next <= off {
+			return
+		}
+		at := m.txEnd + next
+		if now < at {
+			return
+		}
+		st := m.model.TailStateAt(next)
+		if st != m.state {
+			m.setState(at, st)
+		} else {
+			m.stateAt = at
+		}
+		if st == StatePSM {
+			return
+		}
+		off = next
+	}
+}
+
+func (m *DRXMachine) setState(at time.Duration, to State) {
+	tr := Transition{At: at, From: m.state, To: to}
+	m.state = to
+	m.stateAt = at
+	m.transitions++
+	for _, fn := range m.listeners {
+		fn(tr)
+	}
+}

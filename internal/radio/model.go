@@ -24,12 +24,20 @@ import (
 type State int
 
 // RRC states. TransmittingDCH distinguishes active transmission from the
-// DCH tail for power-trace rendering; both draw DCH power.
+// DCH tail for power-trace rendering; both draw DCH power. The DRX
+// states belong to the LTE/5G connected-mode machine (DRXModel): ACTIVE
+// is continuous reception while the inactivity timer runs, DRX-on/
+// DRX-sleep are the cDRX duty cycle, PSM is the post-release idle
+// baseline.
 const (
 	StateIdle State = iota + 1
 	StateFACH
 	StateDCH
 	StateTransmitting
+	StateDRXActive
+	StateDRXOn
+	StateDRXSleep
+	StatePSM
 )
 
 // String returns the conventional RRC state name.
@@ -43,6 +51,14 @@ func (s State) String() string {
 		return "DCH"
 	case StateTransmitting:
 		return "DCH(tx)"
+	case StateDRXActive:
+		return "ACTIVE"
+	case StateDRXOn:
+		return "DRX(on)"
+	case StateDRXSleep:
+		return "DRX(sleep)"
+	case StatePSM:
+		return "PSM"
 	default:
 		return fmt.Sprintf("radio.State(%d)", int(s))
 	}

@@ -128,13 +128,28 @@ func (e Energy) Total() float64 { return e.Transmit + e.Tail }
 // horizon bounds the final tail: a transmission ending at horizon−5s with a
 // 17.5s tail only accrues 5s of it.
 func (tl *Timeline) AccountEnergy(m PowerModel, horizon time.Duration) Energy {
+	return accountEnergy(tl.txs, m, horizon)
+}
+
+// AccountEnergyModel is AccountEnergy over any radio generation: the same
+// fold through the Model interface, used when a fleet sweeps 3G RRC
+// against LTE/5G DRX.
+func (tl *Timeline) AccountEnergyModel(m Model, horizon time.Duration) Energy {
+	return accountEnergy(tl.txs, m, horizon)
+}
+
+// accountEnergy is the shared fold. The type parameter keeps the
+// PowerModel path stenciled to direct calls — BenchmarkAccountEnergy
+// must stay allocation-free — while the Model instantiation serves the
+// DRX models through the interface.
+func accountEnergy[M Model](txs []Transmission, m M, horizon time.Duration) Energy {
 	var e Energy
-	for i, tx := range tl.txs {
+	for i, tx := range txs {
 		txE := m.TransmitEnergy(tx.TxTime)
 
 		var gap time.Duration
-		if i+1 < len(tl.txs) {
-			gap = tl.txs[i+1].Start - tx.End()
+		if i+1 < len(txs) {
+			gap = txs[i+1].Start - tx.End()
 		} else {
 			gap = horizon - tx.End()
 			if gap > m.TailTime() {

@@ -1,0 +1,163 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// diurnalScenario compresses a week into a 10-minute horizon under the
+// LTE DRX radio, with a Friday-evening push storm and a recurring
+// nightly maintenance quiet window.
+func diurnalScenario() *Scenario {
+	return &Scenario{
+		Name:    "diurnal-small",
+		Seed:    33,
+		Horizon: Duration(10 * time.Minute),
+		Radio:   "lte-drx",
+		Fleet:   Fleet{Devices: 6},
+		Timeline: []Event{
+			{Action: ActionDiurnalProfile, Profile: "week", TimeScale: 1008, PhaseJitter: Duration(45 * time.Minute)},
+			{Action: ActionScheduledEvent, At: Duration(122 * time.Hour), Duration: Duration(2 * time.Hour), CargoFactor: 3, BeatFactor: 2},
+			{Action: ActionScheduledEvent, At: Duration(3 * time.Hour), Duration: Duration(time.Hour), Every: Duration(24 * time.Hour), CargoFactor: 0.1},
+		},
+		Assert: []Assertion{
+			{Metric: "devices", Min: f64(6), Max: f64(6)},
+		},
+	}
+}
+
+func renderScenario(t *testing.T, s *Scenario, workers int) string {
+	t.Helper()
+	rep, err := Run(s, Options{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestDiurnalScenarioDeterministicAcrossWorkers: a diurnal+DRX scenario
+// report is byte-identical at 1 and 8 workers.
+func TestDiurnalScenarioDeterministicAcrossWorkers(t *testing.T) {
+	want := renderScenario(t, diurnalScenario(), 1)
+	if got := renderScenario(t, diurnalScenario(), 8); got != want {
+		t.Errorf("diurnal scenario differs across workers:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestDiurnalScenarioChangesOutcome: the profile and radio must reshape
+// the report relative to the plain scenario.
+func TestDiurnalScenarioChangesOutcome(t *testing.T) {
+	plain := diurnalScenario()
+	plain.Radio = ""
+	plain.Timeline = nil
+	base := renderScenario(t, plain, 1)
+
+	diurnalOnly := diurnalScenario()
+	diurnalOnly.Radio = ""
+	if got := renderScenario(t, diurnalOnly, 1); got == base {
+		t.Error("diurnal timeline did not change the report")
+	}
+	radioOnly := diurnalScenario()
+	radioOnly.Timeline = nil
+	if got := renderScenario(t, radioOnly, 1); got == base {
+		t.Error("radio generation did not change the report")
+	}
+}
+
+// TestDiurnalRoundTrip: the new fields survive the canonical
+// parse→encode→parse cycle that the corpus and fuzz target rely on.
+func TestDiurnalRoundTrip(t *testing.T) {
+	s := diurnalScenario()
+	b, err := s.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := back.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Errorf("round trip drifted:\n%s\nvs\n%s", b, b2)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDiurnalValidation exercises the new compile error paths.
+func TestDiurnalValidation(t *testing.T) {
+	cases := map[string]struct {
+		mutate func(*Scenario)
+		want   string
+	}{
+		"radio_on_loopback": {
+			mutate: func(s *Scenario) { s.Engine = EngineLoopback },
+			want:   "radio requires engine: direct",
+		},
+		"unknown_radio": {
+			mutate: func(s *Scenario) { s.Radio = "6g" },
+			want:   "unknown model",
+		},
+		"unknown_profile": {
+			mutate: func(s *Scenario) { s.Timeline[0].Profile = "lunar" },
+			want:   "unknown profile",
+		},
+		"profile_not_at_zero": {
+			mutate: func(s *Scenario) { s.Timeline[0].At = Duration(time.Minute) },
+			want:   "at must be 0",
+		},
+		"event_without_profile": {
+			mutate: func(s *Scenario) { s.Timeline = s.Timeline[1:] },
+			want:   "scheduled_event without a diurnal_profile",
+		},
+		"event_modulates_nothing": {
+			mutate: func(s *Scenario) {
+				s.Timeline[1].CargoFactor = 0
+				s.Timeline[1].BeatFactor = 0
+			},
+			want: "modulates nothing",
+		},
+		"excessive_time_scale": {
+			mutate: func(s *Scenario) { s.Timeline[0].TimeScale = 1e6 },
+			want:   "time scale",
+		},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			s := diurnalScenario()
+			tc.mutate(s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatalf("%s accepted", name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestScheduledEventScopedToProfilelessDevice: a scheduled_event whose
+// selector reaches a device no diurnal_profile covers is a plan-time
+// error, not a silent no-op.
+func TestScheduledEventScopedToProfilelessDevice(t *testing.T) {
+	s := diurnalScenario()
+	s.Timeline[0].Devices = "0-2" // profile on the first half
+	s.Timeline[1].Devices = "all" // storm matches everyone
+	s.Timeline = s.Timeline[:2]   // drop the maintenance window
+	if _, err := Run(s, Options{}); err == nil {
+		t.Fatal("storm on profileless devices accepted")
+	} else if !strings.Contains(err.Error(), "no diurnal_profile") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}

@@ -135,7 +135,7 @@ func runScenarioDevice(c *compiled, lb *rig, i int) (*deviceResult, error) {
 		return nil, err
 	}
 	out := &deviceResult{classIndex: pd.dev.ClassIndex}
-	without, err := runOne(pd, baseline.NewImmediate())
+	without, err := runOne(c, pd, baseline.NewImmediate())
 	if err != nil {
 		return nil, fmt.Errorf("without eTrain: %w", err)
 	}
@@ -152,14 +152,16 @@ func runScenarioDevice(c *compiled, lb *rig, i int) (*deviceResult, error) {
 }
 
 // runOne executes one in-process run of the planned device — its
-// post-timeline beats, cargo and channel — under the given strategy.
-func runOne(pd *plannedDevice, strategy sched.Strategy) (sim.Metrics, error) {
+// post-timeline beats, cargo and channel — under the given strategy and
+// the scenario's radio generation.
+func runOne(c *compiled, pd *plannedDevice, strategy sched.Strategy) (sim.Metrics, error) {
 	res, err := sim.Run(sim.Config{
 		Horizon:   pd.dev.Horizon,
 		Beats:     pd.beats,
 		Packets:   pd.packets,
 		Bandwidth: pd.trace,
 		Power:     radio.GalaxyS43G(),
+		Radio:     c.radio,
 		Strategy:  strategy,
 		Seed:      pd.dev.Seed,
 	})
@@ -175,7 +177,7 @@ func runDirectDevice(c *compiled, pd *plannedDevice, out *deviceResult) error {
 	if err != nil {
 		return err
 	}
-	m, err := runOne(pd, strategy)
+	m, err := runOne(c, pd, strategy)
 	if err != nil {
 		return fmt.Errorf("with eTrain: %w", err)
 	}

@@ -21,7 +21,9 @@ import (
 	"fmt"
 	"time"
 
+	"etrain/internal/diurnal"
 	"etrain/internal/fleet"
+	"etrain/internal/radio"
 	"etrain/internal/randx"
 	"etrain/internal/workload"
 )
@@ -82,6 +84,19 @@ const (
 	// the window are lost, cargo arrivals in the window queue up and
 	// arrive together when the device returns.
 	ActionReboot = "reboot"
+	// ActionDiurnalProfile attaches a diurnal activity profile to the
+	// matching devices from synthesis: cargo follows the profile's
+	// per-class curves and heartbeat cadence its scheduled events. It
+	// must be declared at 0; when several match a device, the last
+	// declared wins.
+	ActionDiurnalProfile = "diurnal_profile"
+	// ActionScheduledEvent layers one scheduled event — a push storm, a
+	// maintenance window — onto the matching devices' diurnal profiles.
+	// At and Duration are on the diurnal clock (so "hour 122 of the
+	// week" is valid however compressed the run is) and bypass the
+	// horizon bound; a matching device without a diurnal_profile is a
+	// plan-time error.
+	ActionScheduledEvent = "scheduled_event"
 )
 
 // Duration is a time.Duration that travels through JSON as a
@@ -132,6 +147,11 @@ type Scenario struct {
 	K int `json:"k,omitempty"`
 	// Engine selects the execution path (EngineDirect when empty).
 	Engine string `json:"engine,omitempty"`
+	// Radio names the radio generation energy is accounted under
+	// (radio.ModelByName: "3g", "lte-drx", "nr-drx", ...). Empty keeps
+	// the 3G RRC power model. Direct engine only — the loopback replayer
+	// accounts energy server-side under the fixed 3G model.
+	Radio string `json:"radio,omitempty"`
 	// Fleet declares the device population.
 	Fleet Fleet `json:"fleet"`
 	// Timeline holds the seeded events, applied in (At, index) order.
@@ -183,6 +203,20 @@ type Event struct {
 	Reset       float64 `json:"reset,omitempty"`
 	Truncate    float64 `json:"truncate,omitempty"`
 	ConnectFail float64 `json:"connect_fail,omitempty"`
+	// Profile names a diurnal preset for diurnal_profile
+	// (diurnal.ByName: flat, week, weekday, weekend).
+	Profile string `json:"profile,omitempty"`
+	// TimeScale, PhaseJitter and Start override the named profile's
+	// clock mapping when non-zero (diurnal_profile only).
+	TimeScale   float64  `json:"time_scale,omitempty"`
+	PhaseJitter Duration `json:"phase_jitter,omitempty"`
+	Start       Duration `json:"start,omitempty"`
+	// CargoFactor and BeatFactor are the scheduled_event modulations
+	// while active; zero leaves that dimension alone.
+	CargoFactor float64 `json:"cargo_factor,omitempty"`
+	BeatFactor  float64 `json:"beat_factor,omitempty"`
+	// Every repeats a scheduled_event with this diurnal-clock period.
+	Every Duration `json:"every,omitempty"`
 }
 
 // Assertion is one end-state predicate: metric within [Min, Max]
@@ -254,6 +288,8 @@ type compiled struct {
 	loopback bool
 	mix      []workload.ClassShare
 	pop      *workload.Population
+	// radio is Scenario.Radio resolved; nil keeps the 3G power model.
+	radio radio.Model
 	// events is the timeline sorted stably by (At, declaration order),
 	// each with its parsed device matcher and original index.
 	events []compiledEvent
@@ -263,6 +299,10 @@ type compiledEvent struct {
 	Event
 	index int
 	match deviceMatcher
+	// prof is the resolved profile of a diurnal_profile entry.
+	prof *diurnal.Profile
+	// dEvent is the resolved event of a scheduled_event entry.
+	dEvent diurnal.Event
 }
 
 // compile validates and resolves the scenario.
@@ -291,6 +331,16 @@ func (s *Scenario) compile() (*compiled, error) {
 	default:
 		return nil, fmt.Errorf("scenario %s: unknown engine %q", s.Name, s.Engine)
 	}
+	if s.Radio != "" {
+		if c.loopback {
+			return nil, fmt.Errorf("scenario %s: radio requires engine: direct — the loopback replayer accounts energy under the fixed 3G model", s.Name)
+		}
+		m, err := radio.ModelByName(s.Radio)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		c.radio = m
+	}
 	if s.Fleet.Devices <= 0 {
 		return nil, fmt.Errorf("scenario %s: fleet.devices %d must be positive", s.Name, s.Fleet.Devices)
 	}
@@ -308,18 +358,26 @@ func (s *Scenario) compile() (*compiled, error) {
 	if len(s.Timeline) > MaxEvents {
 		return nil, fmt.Errorf("scenario %s: %d timeline events exceed %d", s.Name, len(s.Timeline), MaxEvents)
 	}
-	restarts := 0
+	restarts, profiles, scheduled := 0, 0, 0
 	for i, ev := range s.Timeline {
 		ce, err := compileEvent(ev, i, horizon, c.loopback)
 		if err != nil {
 			return nil, fmt.Errorf("scenario %s: timeline[%d]: %w", s.Name, i, err)
 		}
-		if ev.Action == ActionServerRestart {
+		switch ev.Action {
+		case ActionServerRestart:
 			if restarts++; restarts > 1 {
 				return nil, fmt.Errorf("scenario %s: timeline[%d]: at most one server_restart per scenario", s.Name, i)
 			}
+		case ActionDiurnalProfile:
+			profiles++
+		case ActionScheduledEvent:
+			scheduled++
 		}
 		c.events = append(c.events, ce)
+	}
+	if scheduled > 0 && profiles == 0 {
+		return nil, fmt.Errorf("scenario %s: scheduled_event without a diurnal_profile", s.Name)
 	}
 	sortEvents(c.events)
 	if len(s.Assert) > MaxAssertions {
@@ -354,7 +412,13 @@ func (f Fleet) mix() ([]workload.ClassShare, error) {
 func compileEvent(ev Event, index int, horizon time.Duration, loopback bool) (compiledEvent, error) {
 	ce := compiledEvent{Event: ev, index: index}
 	at := ev.At.D()
-	if at < 0 || at > horizon {
+	// scheduled_event instants live on the diurnal clock, which a
+	// time-scaled run compresses far past the sim horizon.
+	if ev.Action == ActionScheduledEvent {
+		if at < 0 || at > diurnal.MaxEventHorizon {
+			return ce, fmt.Errorf("at %v outside [0, %v]", at, diurnal.MaxEventHorizon)
+		}
+	} else if at < 0 || at > horizon {
 		return ce, fmt.Errorf("at %v outside [0, %v]", at, horizon)
 	}
 	match, err := parseDevices(ev.Devices)
@@ -412,6 +476,41 @@ func compileEvent(ev Event, index int, horizon time.Duration, loopback bool) (co
 		d := ev.Duration.D()
 		if d <= 0 {
 			return ce, fmt.Errorf("reboot duration %v must be positive", d)
+		}
+	case ActionDiurnalProfile:
+		if at != 0 {
+			return ce, fmt.Errorf("diurnal_profile shapes synthesis from the start; at must be 0, got %v", at)
+		}
+		prof, err := diurnal.ByName(ev.Profile)
+		if err != nil {
+			return ce, err
+		}
+		if ev.TimeScale != 0 {
+			prof.TimeScale = ev.TimeScale
+		}
+		if ev.PhaseJitter != 0 {
+			prof.PhaseJitter = ev.PhaseJitter.D()
+		}
+		if ev.Start != 0 {
+			prof.Start = ev.Start.D()
+		}
+		if err := prof.Validate(); err != nil {
+			return ce, err
+		}
+		ce.prof = prof
+	case ActionScheduledEvent:
+		ce.dEvent = diurnal.Event{
+			Name:        fmt.Sprintf("timeline[%d]", index),
+			At:          at,
+			Duration:    ev.Duration.D(),
+			CargoFactor: ev.CargoFactor,
+			BeatFactor:  ev.BeatFactor,
+			Every:       ev.Every.D(),
+		}
+		// The event validator is profile-scoped; attaching the lone event
+		// to the identity profile runs exactly its checks.
+		if err := diurnal.Flat().WithEvents(ce.dEvent).Validate(); err != nil {
+			return ce, err
 		}
 	case "":
 		return ce, fmt.Errorf("action is required")

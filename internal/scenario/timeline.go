@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"etrain/internal/bandwidth"
+	"etrain/internal/diurnal"
 	"etrain/internal/fleet"
 	"etrain/internal/heartbeat"
 	"etrain/internal/randx"
@@ -85,16 +86,42 @@ type devicePlan struct {
 	cycles  []cycleChange
 	reboots []window
 	bw      []bwChange
+	// sampler is the device's diurnal sampler; nil without a profile.
+	sampler *diurnal.Sampler
 }
 
 // planDevice synthesizes device i and applies the matching timeline
-// events to its plan.
+// events to its plan. A matching diurnal_profile (last declared wins)
+// shapes the synthesis itself, with matching scheduled_event entries
+// layered onto it.
 func planDevice(c *compiled, i int) (*devicePlan, error) {
-	dev, err := fleet.SynthesizeDevice(c.sc.Seed, c.pop, i, c.sc.Horizon.D())
+	var prof *diurnal.Profile
+	var schedEvents []diurnal.Event
+	for _, ev := range c.events {
+		if !ev.match(i) {
+			continue
+		}
+		switch ev.Action {
+		case ActionDiurnalProfile:
+			prof = ev.prof
+		case ActionScheduledEvent:
+			schedEvents = append(schedEvents, ev.dEvent)
+		}
+	}
+	if prof == nil && len(schedEvents) > 0 {
+		return nil, fmt.Errorf("scheduled_event matches device %d, which has no diurnal_profile", i)
+	}
+	if prof != nil && len(schedEvents) > 0 {
+		prof = prof.WithEvents(schedEvents...)
+	}
+	dev, err := fleet.SynthesizeDeviceOpts(c.sc.Seed, c.pop, i, c.sc.Horizon.D(), fleet.DeviceOptions{Diurnal: prof})
 	if err != nil {
 		return nil, err
 	}
 	p := &devicePlan{dev: dev, horizon: dev.Horizon}
+	if prof != nil {
+		p.sampler = prof.ForDevice(dev.Class.String(), dev.Seed)
+	}
 	for _, t := range dev.Trains {
 		p.trains = append(p.trains, trainSpec{app: t, uninstalledAt: -1})
 	}
@@ -192,9 +219,9 @@ func (p *devicePlan) build() (*plannedDevice, error) {
 	return out, nil
 }
 
-// schedule walks one train's policy, applying the composed cycle
-// factors to every interval that starts at or after each change, and
-// honoring the app's uninstall instant.
+// schedule walks one train's policy, applying the diurnal beat factor
+// and then the composed cycle factors to every interval that starts at
+// or after each change, and honoring the app's uninstall instant.
 func (p *devicePlan) schedule(spec trainSpec) []heartbeat.Beat {
 	var beats []heartbeat.Beat
 	at := spec.app.FirstAt
@@ -206,6 +233,9 @@ func (p *devicePlan) schedule(spec trainSpec) []heartbeat.Beat {
 		step := spec.app.Policy.IntervalAfter(i)
 		if step <= 0 {
 			break
+		}
+		if p.sampler != nil {
+			step = p.sampler.ScaleBeat(at, step)
 		}
 		for _, ch := range p.cycles {
 			if at >= ch.at {

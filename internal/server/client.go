@@ -23,9 +23,13 @@ type Session struct {
 
 // SessionFromDevice converts a synthesized fleet device into its wire
 // replay under the given eTrain parameters. It fails on packets whose
-// profile has no wire kind (profile.KindOf).
+// profile has no wire kind (profile.KindOf). A device carrying an explicit
+// beat schedule (diurnal synthesis) replays those beats verbatim.
 func SessionFromDevice(dev fleet.Device, theta float64, k int) (Session, error) {
-	beats := heartbeat.Merge(dev.Trains, dev.Horizon)
+	beats := dev.Beats
+	if beats == nil {
+		beats = heartbeat.Merge(dev.Trains, dev.Horizon)
+	}
 	events := make([]wire.Message, 0, len(beats)+len(dev.Packets))
 	for _, b := range beats {
 		events = append(events, wire.HeartbeatObserved{At: b.At, App: b.App, Size: b.Size})

@@ -40,8 +40,14 @@ type Config struct {
 	Packets []workload.Packet
 	// Bandwidth drives transmission durations. Required.
 	Bandwidth *bandwidth.Trace
-	// Power is the radio energy model. Required (use radio.GalaxyS43G()).
+	// Power is the radio energy model. Required (use radio.GalaxyS43G())
+	// unless Radio is set.
 	Power radio.PowerModel
+	// Radio, when non-nil, selects the radio generation for energy
+	// accounting instead of Power — e.g. radio.LTEDRX() to run the same
+	// timeline under the LTE connected-mode DRX machine. Power is ignored
+	// while Radio is set.
+	Radio radio.Model
 	// Strategy decides data transmissions. Required.
 	Strategy sched.Strategy
 	// Estimator, if set, exposes a noisy channel estimate to the strategy
@@ -73,7 +79,11 @@ func (c Config) Validate() error {
 	if c.Strategy == nil {
 		return fmt.Errorf("sim: no strategy")
 	}
-	if err := c.Power.Validate(); err != nil {
+	if c.Radio != nil {
+		if err := c.Radio.Validate(); err != nil {
+			return err
+		}
+	} else if err := c.Power.Validate(); err != nil {
 		return err
 	}
 	for _, tr := range c.Trains {
@@ -423,7 +433,11 @@ func (e *Engine) Finish() (*Result, error) {
 		e.OnSlot(SlotResult{Slot: e.cfg.Horizon, Flush: true, Data: e.res.Packets[flushFrom:]})
 	}
 
-	e.res.Energy = e.timeline.AccountEnergy(e.cfg.Power, e.cfg.Horizon+e.cfg.Power.TailTime())
+	if e.cfg.Radio != nil {
+		e.res.Energy = e.timeline.AccountEnergyModel(e.cfg.Radio, e.cfg.Horizon+e.cfg.Radio.TailTime())
+	} else {
+		e.res.Energy = e.timeline.AccountEnergy(e.cfg.Power, e.cfg.Horizon+e.cfg.Power.TailTime())
+	}
 	e.finished = true
 	return e.res, nil
 }

@@ -1,0 +1,54 @@
+package diurnal
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// Probe: find t where the rem>=period guard in cum fires, and compare
+// cum against a slow reference.
+func TestZZProbeCumGuard(t *testing.T) {
+	c, err := NewCurve(Day, []Knot{{0, 0.2}, {6 * time.Hour, 1.5}, {18 * time.Hour, 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := func(at time.Duration) float64 {
+		n := math.Floor(float64(at) / float64(c.period))
+		// exact integer remainder
+		rem := at - time.Duration(int64(n))*c.period
+		for rem < 0 {
+			n--
+			rem = at - time.Duration(int64(n))*c.period
+		}
+		for rem >= c.period {
+			n++
+			rem = at - time.Duration(int64(n))*c.period
+		}
+		i := c.segment(rem)
+		return n*c.total + c.prefix[i] + c.knots[i].Level*(rem-c.knots[i].Offset).Seconds()
+	}
+	fired := 0
+	worst := 0.0
+	var worstT time.Duration
+	for k := int64(100); k < 400000; k += 37 {
+		base := time.Duration(k) * c.period
+		for d := time.Duration(-4); d <= 4; d++ {
+			at := base + d
+			n := math.Floor(float64(at) / float64(c.period))
+			rem := at - time.Duration(n*float64(c.period))
+			if rem >= c.period {
+				fired++
+				got := c.cum(at)
+				want := ref(at)
+				if diff := math.Abs(got - want); diff > worst {
+					worst, worstT = diff, at
+				}
+			}
+		}
+	}
+	t.Logf("guard fired %d times; worst |cum-ref| = %g at t=%v (total per period = %g)", fired, worst, worstT, c.total)
+	if fired > 0 && worst > 1 {
+		t.Errorf("cum wrong when guard fires: off by %g (≈%.2f periods of area) at t=%v", worst, worst/c.total, worstT)
+	}
+}

@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz lint vet determinism bench-json bench-server bench-cluster gate fleet-smoke serve load chaos scenario diurnal cluster clean
+.PHONY: all build test race fuzz lint vet determinism bench-json bench-server bench-cluster gate fleet-smoke serve load chaos scenario diurnal cluster overload clean
 
 all: build test lint
 
@@ -127,6 +127,21 @@ diurnal:
 cluster:
 	$(GO) test -race ./internal/cluster -count=1
 	bash scripts/cluster-smoke.sh
+
+# Overload-survivability suite, same as the CI overload job: admission
+# control and deadline-aware shedding in the server, the client's retry
+# budget and Busy handling, controller snapshot/restore (including the
+# crash-restart recovery test and the thundering-herd shard-kill chaos
+# test), all under the race detector — then an overload soak: a fleet at
+# ~2x the loopback server's admission capacity must complete every
+# session, with refusals, sheds and budget exhaustions in the ledger.
+overload:
+	$(GO) test -race ./internal/server -run 'Admission|TokenBucket|Busy|Shed' -count=1
+	$(GO) test -race ./internal/client -run 'Busy|Budget|PermanentRefusal' -count=1
+	$(GO) test -race ./internal/cluster -run 'Snapshot|Restore|Rejoin|RestartRecovery|Overload|ThunderingHerd' -count=1
+	$(GO) test ./internal/scenario -run 'TestGoldenScenarios/overload-burst' -count=1
+	$(GO) run ./cmd/etrain-load -devices 300 -conns 16 -horizon 2m \
+		-admission-rate 50 -admission-burst 8 -retry-budget 6 -quiet
 
 # Cluster benchmark snapshot: the ring and fleet-fold microbenchmarks
 # plus a live 3-shard failover smoke folded in under the "load" key, so

@@ -77,6 +77,9 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress the per-run header")
 	diurnalFlag := flag.String("diurnal", "", "diurnal activity profile shaping device replays (flat, week, weekday, weekend; empty: none)")
 	timeScale := flag.Float64("time-scale", 0, "diurnal clock compression (0: profile default; requires -diurnal)")
+	admissionRate := flag.Float64("admission-rate", 0, "loopback server hello admission rate per second (0: admission off; loopback mode only)")
+	admissionBurst := flag.Float64("admission-burst", 0, "loopback server admission burst (with -admission-rate)")
+	retryBudget := flag.Int("retry-budget", 0, "per-session busy-retry budget (0: client default)")
 	flag.Parse()
 
 	prof, err := parseDiurnal(*diurnalFlag, *timeScale)
@@ -99,6 +102,10 @@ func main() {
 		jsonPath:  *jsonPath,
 		quiet:     *quiet,
 		diurnal:   prof,
+
+		admissionRate:  *admissionRate,
+		admissionBurst: *admissionBurst,
+		retryBudget:    *retryBudget,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "etrain-load:", err)
 		os.Exit(1)
@@ -121,6 +128,10 @@ type config struct {
 	jsonPath  string
 	quiet     bool
 	diurnal   *diurnal.Profile
+
+	admissionRate  float64
+	admissionBurst float64
+	retryBudget    int
 }
 
 // parseDiurnal resolves the -diurnal preset with the -time-scale
@@ -172,6 +183,14 @@ type report struct {
 	DegradedEvents       int     `json:"degraded_events"`
 	DegradedMs           float64 `json:"degraded_ms"`
 
+	// The overload ledger: how often servers pushed back with Busy, how
+	// many sessions ran their retry budget dry, and the summed
+	// seed-jittered busy wait — the fleet's herd-recovery latency
+	// contribution.
+	BusyResponses        int     `json:"busy_responses,omitempty"`
+	RetryBudgetExhausted int     `json:"retry_budget_exhausted,omitempty"`
+	BusyWaitMs           float64 `json:"busy_wait_ms,omitempty"`
+
 	InjectedDrops       uint64 `json:"injected_drops,omitempty"`
 	InjectedResets      uint64 `json:"injected_resets,omitempty"`
 	InjectedTruncations uint64 `json:"injected_truncations,omitempty"`
@@ -182,6 +201,9 @@ type report struct {
 	ServerFramesIn  uint64 `json:"server_frames_in,omitempty"`
 	ServerFramesOut uint64 `json:"server_frames_out,omitempty"`
 	ServerDecisions uint64 `json:"server_decisions,omitempty"`
+	ServerRefused   uint64 `json:"server_refused,omitempty"`
+	ServerShed      uint64 `json:"server_shed,omitempty"`
+	ServerBusySent  uint64 `json:"server_busy_sent,omitempty"`
 
 	// Cluster mode only: how often devices were rerouted to a new owner,
 	// how many dial outages they rode out, and how long rerouting took —
@@ -209,6 +231,9 @@ func run(cfg config) error {
 	}
 	if cfg.cluster != "" && cfg.faults > 0 {
 		return fmt.Errorf("-cluster does not compose with -faults: cluster chaos is injected by killing shards (see the cluster CI job), not by the transport injector")
+	}
+	if cfg.admissionRate > 0 && (cfg.addr != "" || cfg.cluster != "") {
+		return fmt.Errorf("-admission-rate shapes the in-process loopback server only; configure remote admission on etraind itself")
 	}
 	pop, err := workload.NewPopulation(workload.DefaultMix())
 	if err != nil {
@@ -244,7 +269,16 @@ func run(cfg config) error {
 		}
 		defer rt.Close()
 	case cfg.addr == "":
-		srv = server.New(server.Config{})
+		var admission server.Admission
+		if cfg.admissionRate > 0 {
+			admission = server.NewTokenBucketAdmission(server.TokenBucketConfig{
+				Rate:  cfg.admissionRate,
+				Burst: cfg.admissionBurst,
+				//lint:ignore notime load-harness boundary: the overload soak refills the admission bucket in real time, like etraind would
+				Clock: time.Now,
+			})
+		}
+		srv = server.New(server.Config{Admission: admission})
 		rawDial = func() (net.Conn, error) {
 			clientSide, serverSide := net.Pipe()
 			go srv.ServeConn(serverSide)
@@ -295,7 +329,8 @@ func run(cfg config) error {
 			return err
 		}
 		ccfg := client.Config{
-			Seed: cfg.seed + int64(i),
+			Seed:        cfg.seed + int64(i),
+			RetryBudget: cfg.retryBudget,
 			//lint:ignore notime load-harness boundary: real reconnect backoff against a real transport
 			Sleep: time.Sleep,
 			//lint:ignore notime load-harness boundary: degraded-mode wall time is a harness measurement
@@ -366,6 +401,7 @@ func run(cfg config) error {
 		rep.ServerParked, rep.ServerResumed = s.Parked, s.Resumed
 		rep.ServerFramesIn, rep.ServerFramesOut = s.FramesIn, s.FramesOut
 		rep.ServerDecisions = s.Decisions
+		rep.ServerRefused, rep.ServerShed, rep.ServerBusySent = s.Refused, s.Shed, s.BusySent
 	}
 	if rt != nil {
 		rep.Cluster = cfg.cluster
@@ -413,6 +449,11 @@ func run(cfg config) error {
 		fmt.Printf("server       frames in/out %d/%d  decisions %d  parked %d  resumed %d\n",
 			s.FramesIn, s.FramesOut, s.Decisions, s.Parked, s.Resumed)
 	}
+	if rep.BusyResponses+rep.RetryBudgetExhausted > 0 || rep.ServerRefused+rep.ServerShed+rep.ServerBusySent > 0 {
+		fmt.Printf("overload     busy %d  budget exhaustions %d  busy wait %.0f ms  server refused %d  shed %d  busy-sent %d\n",
+			rep.BusyResponses, rep.RetryBudgetExhausted, rep.BusyWaitMs,
+			rep.ServerRefused, rep.ServerShed, rep.ServerBusySent)
+	}
 	if rt != nil {
 		fmt.Printf("cluster      reroutes %d  recoveries %d\n", rep.Reroutes, rep.Recoveries)
 		if rep.Recoveries > 0 {
@@ -457,6 +498,9 @@ func (r *report) absorb(out *client.Outcome) {
 	if out.CompletedLocally {
 		r.DegradedUnreconciled++
 	}
+	r.BusyResponses += out.BusyResponses
+	r.RetryBudgetExhausted += out.BudgetExhausted
+	r.BusyWaitMs += float64(out.BusyWait) / float64(time.Millisecond)
 }
 
 // timedRoute wraps one device's route dialer with outage timing: the

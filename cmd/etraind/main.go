@@ -48,6 +48,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -73,11 +74,18 @@ func main() {
 	resumeGrace := flag.Duration("resume-grace", server.DefaultResumeGrace, "how long a disconnected session stays resumable (negative: disable resume)")
 	retainLimit := flag.Int("retain-limit", 0, "max parked sessions awaiting resume (0: default 1024)")
 
+	admissionRate := flag.Float64("admission-rate", 0, "token-bucket hello admission rate per second (0: admission control off, legacy silent-close behaviour)")
+	admissionBurst := flag.Float64("admission-burst", 0, "token-bucket hello burst (with -admission-rate; 0: default)")
+	admissionHighWater := flag.Int("admission-highwater", 0, "per-session queue depth past which cargo is shed with Busy (with -admission-rate; 0: never shed)")
+	admissionRetryAfter := flag.Duration("admission-retry-after", 0, "retry-after hint carried in Busy frames (with -admission-rate; 0: default)")
+
 	control := flag.String("control", "", "run as the cluster controller on this control address (no session listener)")
 	ops := flag.String("ops", "", "controller ops HTTP listen address (with -control)")
 	ringSeed := flag.Int64("ring-seed", 42, "consistent-hash ring seed published in the route table (with -control)")
 	vnodes := flag.Int("vnodes", 0, "ring virtual nodes per shard (with -control; 0: default)")
 	beatTimeout := flag.Duration("beat-timeout", cluster.DefaultBeatTimeout, "sweep a shard silent this long (with -control)")
+	snapshot := flag.String("snapshot", "", "controller state snapshot path: loaded at boot when present, rewritten on every sweep tick and at shutdown (with -control)")
+	rejoinGrace := flag.Duration("rejoin-grace", cluster.DefaultRejoinGrace, "post-restore window during which restored members are shielded from sweeps (with -control -snapshot)")
 
 	join := flag.String("join", "", "controller control address to register with (shard mode)")
 	shardID := flag.Uint64("shard-id", 0, "this shard's ring ID (with -join)")
@@ -93,11 +101,27 @@ func main() {
 		runController(logger, controllerFlags{
 			control: *control, ops: *ops, ringSeed: *ringSeed,
 			vnodes: *vnodes, beatTimeout: *beatTimeout, drain: *drain,
+			snapshot: *snapshot, rejoinGrace: *rejoinGrace,
 		})
 		return
 	}
 
+	var admission server.Admission
+	if *admissionRate > 0 {
+		admission = server.NewTokenBucketAdmission(server.TokenBucketConfig{
+			Rate:       *admissionRate,
+			Burst:      *admissionBurst,
+			RetryAfter: *admissionRetryAfter,
+			HighWater:  *admissionHighWater,
+			//lint:ignore notime daemon boundary: the injected clock refills the admission bucket; the policy never reads time itself
+			Clock: time.Now,
+		})
+		logger.Printf("admission control on: %.1f hellos/s, burst %.0f, highwater %d",
+			*admissionRate, *admissionBurst, *admissionHighWater)
+	}
+
 	srv := server.New(server.Config{
+		Admission:      admission,
 		MaxConns:       *maxConns,
 		QueueDepth:     *queueDepth,
 		IdleTimeout:    *idle,
@@ -135,6 +159,7 @@ func main() {
 				Advertise: pub,
 				Dial:      func() (net.Conn, error) { return net.Dial("tcp", *join) },
 				Stats:     func() wire.ShardStats { return cluster.CountersToShardStats(*shardID, srv.Stats()) },
+				Overload:  func() wire.ShardOverload { return cluster.CountersToShardOverload(*shardID, srv.Stats()) },
 				BeatEvery: *beat,
 				//lint:ignore notime daemon boundary: the beat cadence is real time by definition
 				Sleep:        time.Sleep,
@@ -181,6 +206,10 @@ func main() {
 		s.Accepted, s.Rejected, s.Completed, s.Errored, s.Panics,
 		s.Parked, s.Resumed, s.ResumeMisses, s.Discarded,
 		s.FramesIn, s.FramesOut, s.Decisions)
+	if s.Refused+s.Shed+s.BusySent > 0 {
+		fmt.Fprintf(os.Stderr, "etraind: overload refused %d shed %d busy-sent %d\n",
+			s.Refused, s.Shed, s.BusySent)
+	}
 }
 
 // lameDuckWatch returns the route-table hook that flips the server
@@ -214,20 +243,48 @@ type controllerFlags struct {
 	vnodes       int
 	beatTimeout  time.Duration
 	drain        time.Duration
+	snapshot     string
+	rejoinGrace  time.Duration
 }
 
 // runController serves the cluster control plane: the control listener
 // for shard agents and route watchers, a sweep ticker retiring silent
 // shards, and the ops HTTP surface.
 func runController(logger *log.Logger, cf controllerFlags) {
+	var restore *cluster.ControllerSnapshot
+	if cf.snapshot != "" {
+		snap, err := cluster.LoadSnapshot(cf.snapshot)
+		switch {
+		case err == nil:
+			restore = snap
+			logger.Printf("restoring from %s: epoch %d, %d members, rejoin grace %s",
+				cf.snapshot, snap.Epoch, len(snap.Shards), cf.rejoinGrace)
+		case errors.Is(err, os.ErrNotExist):
+			logger.Printf("no snapshot at %s: cold start", cf.snapshot)
+		default:
+			// A torn or corrupt snapshot is a config error, not something
+			// to silently cold-start over — the operator decides.
+			logger.Fatal(err)
+		}
+	}
 	c := cluster.NewController(cluster.ControllerConfig{
 		RingSeed:    cf.ringSeed,
 		Vnodes:      cf.vnodes,
 		BeatTimeout: cf.beatTimeout,
+		Restore:     restore,
+		RejoinGrace: cf.rejoinGrace,
 		//lint:ignore notime daemon boundary: the injected clock ages beats; internal/cluster never reads time itself
 		Clock: time.Now,
 		Logf:  logger.Printf,
 	})
+	persist := func() {
+		if cf.snapshot == "" {
+			return
+		}
+		if err := c.WriteSnapshot(cf.snapshot); err != nil {
+			logger.Printf("snapshot: %v", err)
+		}
+	}
 	l, err := net.Listen("tcp", cf.control)
 	if err != nil {
 		logger.Fatal(err)
@@ -263,6 +320,7 @@ func runController(logger *log.Logger, cf controllerFlags) {
 		select {
 		case <-sweep.C:
 			c.Sweep()
+			persist()
 		case err := <-serveErr:
 			logger.Fatal(err)
 		case sig := <-sigc:
@@ -274,6 +332,7 @@ func runController(logger *log.Logger, cf controllerFlags) {
 					logger.Printf("ops shutdown: %v", err)
 				}
 			}
+			persist() // the final state outlives the process
 			if err := c.Shutdown(ctx); err != nil {
 				logger.Printf("controller shutdown: %v", err)
 			}

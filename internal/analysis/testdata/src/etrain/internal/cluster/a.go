@@ -2,10 +2,15 @@
 // pushes and shard beats are control-frame write paths, so the combined
 // patrol faces them at once — dropped transport write errors, wall-clock
 // reads outside the injected controller clock, direct PRNG use, and
-// goroutine hygiene in the fan-out set.
+// goroutine hygiene in the fan-out set. The admission and snapshot
+// stand-ins below extend the patrol to the overload layer: a token
+// bucket refilled off the wall clock and a snapshot write whose error
+// vanishes are exactly the defects that made crash-restart recovery
+// non-reproducible.
 package cluster
 
 import (
+	"io"
 	"math/rand" // want `import of math/rand outside internal/randx; derive a deterministic stream with randx.New/randx.Derive instead`
 	"time"
 
@@ -33,6 +38,29 @@ func beatAge(lastBeat time.Time) time.Duration {
 // schedule stops being a pure function of the config.
 func jitterBeat(every time.Duration) time.Duration {
 	return every + time.Duration(rand.Int63n(int64(every)))
+}
+
+// refillBucket refills an admission token bucket off the wall clock
+// instead of the policy's injected Clock: two servers racing the same
+// herd would admit different Hellos, and no admission test could ever
+// pin a refusal.
+func refillBucket(tokens, rate float64, last time.Time) float64 {
+	return tokens + time.Now().Sub(last).Seconds()*rate // want `time.Now reads the wall clock outside the real-time boundary`
+}
+
+// persistSnapshot drops the snapshot writer's error: a torn or failed
+// snapshot write vanishes, and the next controller restart restores a
+// membership that was never durably recorded.
+func persistSnapshot(w io.Writer, encoded []byte) {
+	w.Write(encoded) // want `error from .*Writer\.Write is dropped`
+}
+
+// persistDurable is the sanctioned shape: the write error surfaces to
+// the boot path, which refuses a torn snapshot instead of restoring
+// from it.
+func persistDurable(w io.Writer, encoded []byte) error {
+	_, err := w.Write(encoded)
+	return err
 }
 
 // pushJoined is the sanctioned shape: the writer enters the goroutine

@@ -1,0 +1,163 @@
+package client
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"etrain/internal/server"
+	"etrain/internal/wire"
+)
+
+// shedFirstCargo is a deterministic server.Admission for tests: it sheds
+// each device's first-seen cargo ID exactly once and admits everything
+// else, so the client's Busy handling can be exercised without racing
+// real queue pressure.
+type shedFirstCargo struct {
+	mu   sync.Mutex
+	done map[uint64]bool // device -> already shed once
+	ra   time.Duration
+}
+
+func (p *shedFirstCargo) AdmitHello(wire.Hello) (bool, time.Duration) { return true, 0 }
+
+func (p *shedFirstCargo) ShedCargo(h wire.Hello, _ wire.CargoArrival, _ int) (bool, time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.done[h.DeviceID] {
+		return false, 0
+	}
+	p.done[h.DeviceID] = true
+	return true, p.ra
+}
+
+func (p *shedFirstCargo) RetryAfter() time.Duration { return p.ra }
+
+// refuseAll is a server.Admission that refuses every Hello — a shard in
+// sustained overload.
+type refuseAll struct{ ra time.Duration }
+
+func (p refuseAll) AdmitHello(wire.Hello) (bool, time.Duration) { return false, p.ra }
+func (p refuseAll) ShedCargo(wire.Hello, wire.CargoArrival, int) (bool, time.Duration) {
+	return false, 0
+}
+func (p refuseAll) RetryAfter() time.Duration { return p.ra }
+
+// TestBusyShedResumesToBaseline: a server that sheds one cargo frame
+// must cost the client exactly one Busy and one resume round-trip — and
+// the healed outcome must match the clean baseline frame for frame.
+func TestBusyShedResumesToBaseline(t *testing.T) {
+	sess := testSession(t, 4)
+	want := baseline(t, sess)
+	srv := server.New(server.Config{
+		Admission: &shedFirstCargo{done: map[uint64]bool{}, ra: 30 * time.Millisecond},
+	})
+	out, err := Run(Config{Dial: loopbackDialer(srv, nil), Seed: 11}, sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEquivalent(t, out, want)
+	if out.BusyResponses != 1 {
+		t.Errorf("busy responses %d, want 1", out.BusyResponses)
+	}
+	if out.BudgetExhausted != 0 {
+		t.Errorf("budget exhausted %d times on a single shed, want 0", out.BudgetExhausted)
+	}
+	if out.Resumes < 1 {
+		t.Errorf("resumes %d, want at least 1 (the shed defers to a resume)", out.Resumes)
+	}
+	if out.Degraded {
+		t.Error("a single shed degraded the session; the budget should absorb it")
+	}
+	// The jittered busy wait is deterministic and within [RA/2, RA].
+	if out.BusyWait < 15*time.Millisecond || out.BusyWait > 30*time.Millisecond {
+		t.Errorf("busy wait %v outside the jitter window [15ms, 30ms]", out.BusyWait)
+	}
+	waitFor(t, func() bool { return srv.Stats().Completed == 1 },
+		func() string { return "server never counted the resumed completion" })
+	st := srv.Stats()
+	if st.Shed != 1 || st.BusySent != 1 {
+		t.Errorf("server shed %d busy-sent %d, want 1/1", st.Shed, st.BusySent)
+	}
+}
+
+// TestBudgetExhaustionDegrades: under sustained refusal the client must
+// spend its whole retry budget exactly as configured, record the
+// exhaustion in the ledger, and still finish the session locally with
+// the baseline-identical outcome — busy retries per session stay
+// bounded by the budget.
+func TestBudgetExhaustionDegrades(t *testing.T) {
+	sess := testSession(t, 5)
+	want := baseline(t, sess)
+	srv := server.New(server.Config{
+		Admission: refuseAll{ra: 10 * time.Millisecond},
+	})
+	out, err := Run(Config{
+		Dial:        loopbackDialer(srv, nil),
+		Seed:        12,
+		RetryBudget: 3,
+		RetryEvery:  1 << 20, // no probes: one stint finishes the session
+	}, sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEquivalent(t, out, want)
+	if !out.Degraded || !out.CompletedLocally {
+		t.Errorf("degraded=%v completedLocally=%v, want true/true under sustained refusal",
+			out.Degraded, out.CompletedLocally)
+	}
+	if out.BudgetExhausted < 1 {
+		t.Error("sustained refusal never recorded a budget exhaustion")
+	}
+	// Budget 3 + the exhausting response: the client must stop retrying
+	// at 4 busy responses, not storm the server.
+	if out.BusyResponses != 4 {
+		t.Errorf("busy responses %d, want exactly budget+1 = 4", out.BusyResponses)
+	}
+	waitFor(t, func() bool { return srv.Stats().Refused == 4 },
+		func() string {
+			return "server refusals never reached 4 (one per busy response, bounded by the client budget)"
+		})
+	if c := srv.Stats().Completed; c != 0 {
+		t.Errorf("server completed %d sessions under refuse-all, want 0", c)
+	}
+}
+
+// TestPermanentRefusalTerminates is the satellite regression: a dialer
+// that always connects to a server which instantly hangs up (the legacy
+// silent close — no Busy, no admission) must not hang the client. The
+// probe-cadence doubling guarantees a final probe-free stint, and the
+// ledger reports the session degraded and unreconciled rather than
+// completed against a live server.
+func TestPermanentRefusalTerminates(t *testing.T) {
+	sess := testSession(t, 6)
+	want := baseline(t, sess)
+	dial := func() (net.Conn, error) {
+		c, sconn := net.Pipe()
+		sconn.Close() // refused at the door, silently
+		return c, nil
+	}
+	out, err := Run(Config{
+		Dial:        dial,
+		Seed:        13,
+		MaxAttempts: 2,
+		RetryEvery:  1,
+	}, sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEquivalent(t, out, want)
+	if !out.Degraded || !out.CompletedLocally {
+		t.Errorf("degraded=%v completedLocally=%v, want degraded-unreconciled", out.Degraded, out.CompletedLocally)
+	}
+	// RetryEvery 1 probes on the very first event, so only the doubling
+	// cadence lets a stint outrun its probes: reaching local completion
+	// forces at least two stints.
+	if out.DegradedStints < 2 {
+		t.Errorf("stints %d, want >= 2 (termination must come from cadence doubling)", out.DegradedStints)
+	}
+	if out.BusyResponses != 0 {
+		t.Errorf("busy responses %d from a silent-close server, want 0", out.BusyResponses)
+	}
+}

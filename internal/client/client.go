@@ -33,6 +33,14 @@ const (
 	// DefaultRetryEvery is how many locally applied events pass between
 	// reconnection probes while degraded.
 	DefaultRetryEvery = 64
+	// DefaultRetryBudget is the per-session busy-retry token budget: how
+	// many wire.Busy responses the client absorbs (sleeping the server's
+	// hinted backoff each time) before it stops hammering an overloaded
+	// server and degrades to local scheduling. Successful exchanges refill
+	// the bucket one token at a time, SRE retry-budget style, so a brief
+	// overload costs a few tokens while a sustained one drains the budget
+	// exactly once.
+	DefaultRetryBudget = 8
 )
 
 // resumeRetries is how many additional Resume handshakes are attempted
@@ -79,6 +87,13 @@ type Config struct {
 	// events (DefaultRetryEvery if zero); it doubles with every stint so
 	// sustained chaos converges on a probe-free local completion.
 	RetryEvery int
+	// RetryBudget caps busy-retries per session (DefaultRetryBudget if
+	// zero): each wire.Busy from the server spends one token, each
+	// exchange that makes progress refills one (never past the cap), and
+	// exhaustion sends the session to a degraded stint instead of another
+	// retry — the herd damping that keeps a synchronized failover from
+	// retry-storming the surviving shards.
+	RetryBudget int
 }
 
 // Outcome is what one resilient session run produced, plus how hard the
@@ -102,6 +117,19 @@ type Outcome struct {
 	// a load report that counts only Degraded understates how many
 	// sessions ended without the server ever confirming them.
 	CompletedLocally bool
+
+	// BusyResponses counts wire.Busy frames received from servers.
+	BusyResponses int
+	// BudgetExhausted counts the times the busy-retry budget ran dry,
+	// each forcing a degraded stint; it is the healing ledger's record
+	// that overload — not transport loss — degraded the session.
+	BudgetExhausted int
+	// BusyWait is the total busy-induced backoff the client was asked to
+	// wait (the seed-jittered sum of the servers' RetryAfter hints) — the
+	// herd-recovery latency contribution of this session. It accumulates
+	// even with a nil Sleep, so deterministic tests see the same ledger a
+	// real run would.
+	BusyWait time.Duration
 }
 
 // state is one run's progress: the outbound journal, the authoritative
@@ -135,13 +163,28 @@ type state struct {
 	// still reconciles on the first probe.
 	probeEvery int
 
-	attempts       int
-	reconnects     int
-	resumes        int
-	replays        int
-	stints         int
-	degradedEvents int
-	degradedTime   time.Duration
+	// rng draws the deterministic jitter for both reconnect backoff and
+	// busy-wait sleeps.
+	rng *randx.Source
+
+	// budget is the busy-retry token bucket: spent by noteBusy, refilled
+	// (capped at budgetCap) by exchanges that make progress. mustDegrade
+	// latches when a Busy lands on an empty bucket; the run loop answers
+	// it with an immediate degraded stint.
+	budget      int
+	budgetCap   int
+	mustDegrade bool
+
+	attempts        int
+	reconnects      int
+	resumes         int
+	replays         int
+	stints          int
+	degradedEvents  int
+	degradedTime    time.Duration
+	busyResponses   int
+	budgetExhausted int
+	busyWait        time.Duration
 }
 
 // Run replays sess against the server reached through cfg.Dial,
@@ -167,6 +210,9 @@ func Run(cfg Config, sess server.Session) (*Outcome, error) {
 	if cfg.RetryEvery <= 0 {
 		cfg.RetryEvery = DefaultRetryEvery
 	}
+	if cfg.RetryBudget <= 0 {
+		cfg.RetryBudget = DefaultRetryBudget
+	}
 	if cfg.Power.Validate() != nil {
 		cfg.Power = radio.GalaxyS43G()
 	}
@@ -180,8 +226,10 @@ func Run(cfg Config, sess server.Session) (*Outcome, error) {
 		token:      wire.SessionToken(sess.Hello),
 		journal:    journal,
 		probeEvery: cfg.RetryEvery,
+		budget:     cfg.RetryBudget,
+		budgetCap:  cfg.RetryBudget,
 	}
-	rng := randx.New(randx.Derive(cfg.Seed, sess.Hello.DeviceID, 0x6261636b6f6666)) // "backoff"
+	st.rng = randx.New(randx.Derive(cfg.Seed, sess.Hello.DeviceID, 0x6261636b6f6666)) // "backoff"
 
 	consecFail := 0
 	var conn net.Conn // a live connection handed over by a degraded probe
@@ -198,7 +246,7 @@ func Run(cfg Config, sess server.Session) (*Outcome, error) {
 					}
 					conn = c2
 				} else {
-					st.backoff(rng, consecFail)
+					st.backoff(consecFail)
 				}
 				continue
 			}
@@ -215,8 +263,22 @@ func Run(cfg Config, sess server.Session) (*Outcome, error) {
 		if st.done {
 			break
 		}
+		if st.mustDegrade {
+			// The busy-retry budget ran dry: stop hammering the overloaded
+			// server and schedule locally; a probe reconciles later if the
+			// server recovers.
+			st.mustDegrade = false
+			consecFail = 0
+			c2, err := st.stint()
+			if err != nil {
+				return nil, err
+			}
+			conn = c2
+			continue
+		}
 		if progress {
 			consecFail = 0
+			st.refill()
 			continue
 		}
 		consecFail++
@@ -229,7 +291,7 @@ func Run(cfg Config, sess server.Session) (*Outcome, error) {
 			conn = c2
 			continue
 		}
-		st.backoff(rng, consecFail)
+		st.backoff(consecFail)
 	}
 	return st.outcome()
 }
@@ -257,7 +319,7 @@ func (st *state) dial() (net.Conn, error) {
 
 // backoff sleeps the capped exponential delay for the given consecutive
 // failure count, with deterministic jitter in [d/2, d].
-func (st *state) backoff(rng *randx.Source, consec int) {
+func (st *state) backoff(consec int) {
 	d := st.cfg.BaseBackoff
 	for i := 1; i < consec && d < st.cfg.MaxBackoff; i++ {
 		d *= 2
@@ -266,17 +328,68 @@ func (st *state) backoff(rng *randx.Source, consec int) {
 		d = st.cfg.MaxBackoff
 	}
 	half := int64(d / 2)
-	jittered := time.Duration(half + rng.Int63()%(half+1))
+	jittered := time.Duration(half + st.rng.Int63()%(half+1))
 	if st.cfg.Sleep != nil {
 		st.cfg.Sleep(jittered)
 	}
 }
 
-// readResult is one connection's collected server frames.
+// noteBusy records one wire.Busy from the server: honor RetryAfter with
+// seed-jittered damping (a sleep in [RA/2, RA], so a synchronized herd
+// of refused clients desynchronizes instead of re-arriving as one wave)
+// and spend one retry-budget token. A Busy landing on an empty bucket
+// latches mustDegrade instead — the client stops retrying and schedules
+// locally.
+func (st *state) noteBusy(b wire.Busy) {
+	st.busyResponses++
+	if b.RetryAfter > 0 {
+		half := int64(b.RetryAfter / 2)
+		jittered := time.Duration(half + st.rng.Int63()%(half+1))
+		st.busyWait += jittered
+		if st.cfg.Sleep != nil {
+			st.cfg.Sleep(jittered)
+		}
+	}
+	if st.budget > 0 {
+		st.budget--
+		return
+	}
+	st.budgetExhausted++
+	st.mustDegrade = true
+}
+
+// refill returns one busy-retry token after an exchange that made
+// progress, never past the configured cap.
+func (st *state) refill() {
+	if st.budget < st.budgetCap {
+		st.budget++
+	}
+}
+
+// readResult is one connection's collected server frames. Busy frames
+// are control frames, not session frames: they are split out so the
+// authoritative stream stays decisions/stats/ack only.
 type readResult struct {
 	frames []wire.Message
+	busy   []wire.Busy
 	final  bool
 	err    error
+}
+
+// handshakeAnswer reads the server's answer to a Hello or Resume,
+// skipping advisory Redirect hints (the route table stays
+// authoritative).
+func handshakeAnswer(r *wire.Reader) (wire.Message, error) {
+	for {
+		m, err := r.Next()
+		if err != nil {
+			return nil, err
+		}
+		if _, isRedirect := m.(wire.Redirect); isRedirect {
+			continue
+		}
+		return m, nil
+	}
 }
 
 // exchange runs one full attempt on conn: handshake (Resume when an
@@ -297,7 +410,7 @@ func (st *state) exchange(conn net.Conn) (progress bool, fatal error) {
 		if err := w.Write(resume); err != nil {
 			return false, nil
 		}
-		m, err := r.Next()
+		m, err := handshakeAnswer(r)
 		if err != nil {
 			// Indistinguishable here: the server refused the resume (not
 			// parked yet, expired, or disabled) or the transport died.
@@ -309,6 +422,12 @@ func (st *state) exchange(conn net.Conn) (progress bool, fatal error) {
 			if st.resumeFails > resumeRetries {
 				st.canResume = false
 			}
+			return false, nil
+		}
+		if b, isBusy := m.(wire.Busy); isBusy {
+			// The shard is overloaded, not gone: the parked session stays
+			// presumed resumable for the post-backoff retry.
+			st.noteBusy(b)
 			return false, nil
 		}
 		ok, is := m.(wire.ResumeOK)
@@ -328,8 +447,12 @@ func (st *state) exchange(conn net.Conn) (progress bool, fatal error) {
 		if err := w.Write(st.hello); err != nil {
 			return false, nil
 		}
-		m, err := r.Next()
+		m, err := handshakeAnswer(r)
 		if err != nil {
+			return false, nil
+		}
+		if b, isBusy := m.(wire.Busy); isBusy {
+			st.noteBusy(b)
 			return false, nil
 		}
 		a, is := m.(wire.Ack)
@@ -353,12 +476,24 @@ func (st *state) exchange(conn net.Conn) (progress bool, fatal error) {
 	done := make(chan readResult, 1)
 	go func() {
 		var fs []wire.Message
+		var busy []wire.Busy
 		toSkip := skip
 		for {
 			m, err := r.Next()
 			if err != nil {
-				done <- readResult{frames: fs, err: err}
+				done <- readResult{frames: fs, busy: busy, err: err}
 				return
+			}
+			switch v := m.(type) {
+			case wire.Busy:
+				// A mid-stream Busy means the server shed an event and
+				// parked the session; the conn is about to close. Control
+				// frames never enter the session stream and never count
+				// against the skip window.
+				busy = append(busy, v)
+				continue
+			case wire.Redirect:
+				continue
 			}
 			if toSkip > 0 {
 				toSkip--
@@ -366,7 +501,7 @@ func (st *state) exchange(conn net.Conn) (progress bool, fatal error) {
 			}
 			fs = append(fs, m)
 			if _, isAck := m.(wire.Ack); isAck {
-				done <- readResult{frames: fs, final: true}
+				done <- readResult{frames: fs, busy: busy, final: true}
 				return
 			}
 		}
@@ -388,6 +523,9 @@ func (st *state) exchange(conn net.Conn) (progress bool, fatal error) {
 	st.out = append(st.out, res.frames...)
 	if res.final {
 		st.done = true
+	}
+	for _, b := range res.busy {
+		st.noteBusy(b)
 	}
 	return len(res.frames) > 0, nil
 }
@@ -468,6 +606,10 @@ func (st *state) outcome() (*Outcome, error) {
 		DegradedTime:   st.degradedTime,
 
 		CompletedLocally: st.localFinish,
+
+		BusyResponses:   st.busyResponses,
+		BudgetExhausted: st.budgetExhausted,
+		BusyWait:        st.busyWait,
 	}
 	sawStats := false
 	for i, m := range st.out {

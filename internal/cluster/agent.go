@@ -24,6 +24,10 @@ type AgentConfig struct {
 	// Stats, when non-nil, supplies the counter snapshot sent alongside
 	// every beat.
 	Stats func() wire.ShardStats
+	// Overload, when non-nil, supplies the overload-counter snapshot
+	// (refused, shed, busy-sent) sent after each stats frame. Nil keeps
+	// the beat stream byte-identical to pre-overload agents.
+	Overload func() wire.ShardOverload
 	// BeatEvery is the beat cadence handed to Sleep (DefaultBeatEvery if
 	// zero).
 	BeatEvery time.Duration
@@ -133,6 +137,16 @@ func agentConn(ctx context.Context, cfg AgentConfig, conn net.Conn, seq *uint64)
 			if err := w.Write(s); err != nil {
 				if cfg.Logf != nil {
 					cfg.Logf("agent %d: stats: %v", cfg.ShardID, err)
+				}
+				return
+			}
+		}
+		if cfg.Overload != nil {
+			o := cfg.Overload()
+			o.ShardID = cfg.ShardID
+			if err := w.Write(o); err != nil {
+				if cfg.Logf != nil {
+					cfg.Logf("agent %d: overload: %v", cfg.ShardID, err)
 				}
 				return
 			}

@@ -33,6 +33,9 @@ const (
 	// DefaultBeatTimeout is how stale a shard's last beat may be before
 	// Sweep declares it dead (needs a Clock).
 	DefaultBeatTimeout = 5 * time.Second
+	// DefaultRejoinGrace is how long a restored controller shields
+	// phantom members from Sweep while their shards re-register.
+	DefaultRejoinGrace = 2 * DefaultBeatTimeout
 )
 
 // ErrControllerClosed reports that Serve stopped because Shutdown began.
@@ -54,6 +57,16 @@ type ControllerConfig struct {
 	// Clock supplies wall time for beat staleness; nil disables
 	// Sweep-based expiry and keeps the controller deterministic.
 	Clock func() time.Time
+	// Restore, when non-nil, rebuilds the controller from a crash
+	// snapshot: members come back as phantoms (no conn) at the
+	// snapshot's exact epoch and ring parameters, and Sweep holds off
+	// for RejoinGrace so shards can re-register without an epoch storm.
+	// RingSeed and Vnodes from the snapshot override the config's.
+	Restore *ControllerSnapshot
+	// RejoinGrace bounds the post-restore re-registration window
+	// (DefaultRejoinGrace if zero; only meaningful with Restore and a
+	// Clock — without a Clock, Sweep is a no-op anyway).
+	RejoinGrace time.Duration
 	// Logf, when non-nil, receives membership and error reports.
 	Logf func(format string, args ...any)
 }
@@ -73,6 +86,9 @@ type shardState struct {
 	hasBeat  bool
 	stats    wire.ShardStats
 	hasStats bool
+
+	overload    wire.ShardOverload
+	hasOverload bool
 }
 
 // watcher is one route-table subscriber (a load generator or admin
@@ -119,17 +135,27 @@ type Controller struct {
 	deaths    uint64 // shards removed by conn loss or beat expiry
 	drains    uint64 // shards removed by an explicit Drain
 
+	// graceUntil suspends Sweep after a snapshot restore: phantom
+	// members must outlive the re-registration window even though they
+	// cannot beat.
+	graceUntil time.Time
+
 	wg sync.WaitGroup
 }
 
 // NewController returns a controller with normalized configuration. The
-// route table starts at epoch 1 with no members.
+// route table starts at epoch 1 with no members, or — given a Restore
+// snapshot — at the snapshot's exact epoch with its member set restored
+// as phantoms awaiting re-registration.
 func NewController(cfg ControllerConfig) *Controller {
 	if cfg.Vnodes <= 0 {
 		cfg.Vnodes = DefaultVnodes
 	}
 	if cfg.BeatTimeout <= 0 {
 		cfg.BeatTimeout = DefaultBeatTimeout
+	}
+	if cfg.RejoinGrace <= 0 {
+		cfg.RejoinGrace = DefaultRejoinGrace
 	}
 	c := &Controller{
 		cfg:       cfg,
@@ -138,9 +164,39 @@ func NewController(cfg ControllerConfig) *Controller {
 		watchers:  make(map[*watcher]struct{}),
 	}
 	c.mu.Lock()
+	if snap := cfg.Restore; snap != nil {
+		c.restoreLocked(*snap)
+	}
 	c.rebuildLocked()
 	c.mu.Unlock()
 	return c
+}
+
+// restoreLocked installs a crash snapshot: ring parameters and removal
+// counters come back exactly, members come back as phantoms (conn nil,
+// liveness stamped at restore time so post-grace Sweep expires the ones
+// that never return), and the epoch is positioned one below the
+// snapshot's so the constructor's rebuild republishes the identical
+// table at exactly the snapshot epoch — no storm, no regression.
+func (c *Controller) restoreLocked(snap ControllerSnapshot) {
+	c.cfg.RingSeed = snap.RingSeed
+	c.cfg.Vnodes = snap.Vnodes
+	c.deaths = snap.Deaths
+	c.drains = snap.Drains
+	if snap.Epoch > 0 {
+		c.epoch = snap.Epoch - 1
+	}
+	for _, s := range snap.Shards {
+		sh := &shardState{id: s.ID, addr: s.Addr, draining: s.Draining}
+		if c.cfg.Clock != nil {
+			sh.lastBeat = c.cfg.Clock() // restore counts as provisional liveness
+			sh.hasBeat = true
+		}
+		c.shards[s.ID] = sh
+	}
+	if c.cfg.Clock != nil {
+		c.graceUntil = c.cfg.Clock().Add(c.cfg.RejoinGrace)
+	}
 }
 
 // Serve accepts control connections from l until Shutdown, then returns
@@ -254,6 +310,8 @@ func (c *Controller) shardLoop(conn net.Conn, r *wire.Reader, h wire.ShardHello)
 			c.noteBeat(sh, v)
 		case wire.ShardStats:
 			c.noteStats(sh, v)
+		case wire.ShardOverload:
+			c.noteOverload(sh, v)
 		case wire.Ack:
 			// A shard may ack pushed tables; nothing to do.
 		default:
@@ -313,10 +371,16 @@ func (c *Controller) register(conn net.Conn, h wire.ShardHello) *shardState {
 		return nil
 	}
 	var staleConn net.Conn
-	if old, ok := c.shards[h.ShardID]; ok && old.conn != nil && old.conn != conn {
-		staleConn = old.conn
-	}
 	sh := &shardState{id: h.ShardID, addr: h.Addr, conn: conn}
+	if old, ok := c.shards[h.ShardID]; ok {
+		if old.conn != nil && old.conn != conn {
+			staleConn = old.conn
+		}
+		// An operator's drain decision survives the shard's reconnect
+		// (and a controller restart, via the snapshot): only an explicit
+		// un-drain — which doesn't exist yet — may clear it.
+		sh.draining = old.draining
+	}
 	sh.pu.w = wire.NewWriter(conn)
 	if c.cfg.Clock != nil {
 		sh.lastBeat = c.cfg.Clock() // registration counts as liveness
@@ -366,6 +430,14 @@ func (c *Controller) noteStats(sh *shardState, s wire.ShardStats) {
 	sh.hasStats = true
 }
 
+// noteOverload records one overload-counter snapshot.
+func (c *Controller) noteOverload(sh *shardState, o wire.ShardOverload) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sh.overload = o
+	sh.hasOverload = true
+}
+
 // Sweep removes shards whose last beat is older than BeatTimeout. It
 // needs a Clock; without one it is a no-op. The daemon calls it on a
 // timer — the controller itself never schedules.
@@ -375,6 +447,12 @@ func (c *Controller) Sweep() {
 	}
 	now := c.cfg.Clock()
 	c.mu.Lock()
+	if now.Before(c.graceUntil) {
+		// Post-restore grace: phantoms can't beat yet, and expiring them
+		// now would shred the recovered table before shards re-attach.
+		c.mu.Unlock()
+		return
+	}
 	var expired []*shardState
 	for _, sh := range c.shards {
 		if sh.hasBeat && now.Sub(sh.lastBeat) > c.cfg.BeatTimeout {
@@ -431,6 +509,12 @@ func (c *Controller) Table() wire.RouteTable {
 // member set, bumps the epoch, and schedules a push to every peer. The
 // pushes run on their own goroutines (joined by the controller's
 // WaitGroup) so a slow peer cannot stall the registry lock.
+//
+// A rebuild whose entries, seed and vnodes match the published table is
+// skipped outright: a shard re-attaching to a restored phantom (or
+// superseding its own flapped conn) must not storm the fleet with
+// content-identical epochs. The epoch>0 guard keeps the constructor's
+// first build — against the zero table — from being skipped.
 func (c *Controller) rebuildLocked() {
 	ids := make([]uint64, 0, len(c.shards))
 	for id, sh := range c.shards {
@@ -442,6 +526,9 @@ func (c *Controller) rebuildLocked() {
 	entries := make([]wire.RouteEntry, 0, len(ids))
 	for _, id := range ids {
 		entries = append(entries, wire.RouteEntry{ShardID: id, Addr: c.shards[id].addr})
+	}
+	if c.epoch > 0 && c.sameTableLocked(entries) {
+		return
 	}
 	c.epoch++
 	c.table = wire.RouteTable{
@@ -469,6 +556,21 @@ func (c *Controller) rebuildLocked() {
 			}
 		}(pu)
 	}
+}
+
+// sameTableLocked reports whether the published table already carries
+// exactly these entries under the current ring parameters.
+func (c *Controller) sameTableLocked(entries []wire.RouteEntry) bool {
+	t := c.table
+	if t.Seed != c.cfg.RingSeed || int(t.Vnodes) != c.cfg.Vnodes || len(t.Shards) != len(entries) {
+		return false
+	}
+	for i := range entries {
+		if t.Shards[i] != entries[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func (c *Controller) logf(format string, args ...any) {

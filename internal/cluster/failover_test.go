@@ -27,7 +27,14 @@ type shardProc struct {
 // startShardProc boots a shard and registers it with the controller.
 func startShardProc(t *testing.T, ctrlAddr string, id uint64) *shardProc {
 	t.Helper()
-	srv := server.New(server.Config{})
+	return startShardProcWith(t, ctrlAddr, id, server.Config{})
+}
+
+// startShardProcWith boots a shard whose session server uses scfg —
+// the overload tests inject an Admission policy here.
+func startShardProcWith(t *testing.T, ctrlAddr string, id uint64, scfg server.Config) *shardProc {
+	t.Helper()
+	srv := server.New(scfg)
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -44,6 +51,9 @@ func startShardProc(t *testing.T, ctrlAddr string, id uint64) *shardProc {
 			Dial:      tcpDialer(ctrlAddr),
 			Stats: func() wire.ShardStats {
 				return CountersToShardStats(id, srv.Stats())
+			},
+			Overload: func() wire.ShardOverload {
+				return CountersToShardOverload(id, srv.Stats())
 			},
 			BeatEvery: time.Millisecond,
 			Sleep:     time.Sleep,

@@ -23,6 +23,9 @@ type ShardStatus struct {
 	BeatAgeMS int64 `json:"beat_age_ms"`
 	// Stats is the shard's latest counter snapshot, if one arrived.
 	Stats *wire.ShardStats `json:"stats,omitempty"`
+	// Overload is the shard's latest admission/shedding snapshot, if one
+	// arrived (only overload-aware agents send them).
+	Overload *wire.ShardOverload `json:"overload,omitempty"`
 }
 
 // Status is the controller's full observable state.
@@ -66,6 +69,10 @@ func (c *Controller) Status() Status {
 			stats := sh.stats
 			ss.Stats = &stats
 		}
+		if sh.hasOverload {
+			ov := sh.overload
+			ss.Overload = &ov
+		}
 		st.Shards = append(st.Shards, ss)
 	}
 	sort.Slice(st.Shards, func(i, j int) bool { return st.Shards[i].ID < st.Shards[j].ID })
@@ -103,6 +110,24 @@ func (c *Controller) Totals() wire.ShardStats {
 	return t
 }
 
+// OverloadTotals sums the latest overload snapshot of every registered
+// shard (ShardID 0 marks the aggregate), with the same live-fleet
+// semantics as Totals.
+func (c *Controller) OverloadTotals() wire.ShardOverload {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var t wire.ShardOverload
+	for _, sh := range c.shards {
+		if !sh.hasOverload {
+			continue
+		}
+		t.Refused += sh.overload.Refused
+		t.Shed += sh.overload.Shed
+		t.BusySent += sh.overload.BusySent
+	}
+	return t
+}
+
 // OpsHandler serves the controller's operational surface:
 //
 //	GET  /metrics   text counters, fixed order (route epoch, per-shard health)
@@ -125,7 +150,7 @@ func (c *Controller) OpsHandler() http.Handler {
 	})
 	mux.HandleFunc("/sessions", func(w http.ResponseWriter, r *http.Request) {
 		st := c.Status()
-		writeJSON(w, sessionsReport{Shards: len(st.Shards), Totals: c.Totals()})
+		writeJSON(w, sessionsReport{Shards: len(st.Shards), Totals: c.Totals(), Overload: c.OverloadTotals()})
 	})
 	mux.HandleFunc("/table", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, c.Table())
@@ -154,6 +179,9 @@ func (c *Controller) OpsHandler() http.Handler {
 type sessionsReport struct {
 	Shards int             `json:"shards"`
 	Totals wire.ShardStats `json:"totals"`
+	// Overload sums the fleet's admission/shedding counters; all-zero on
+	// clusters whose agents predate overload reporting.
+	Overload wire.ShardOverload `json:"overload"`
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -196,6 +224,7 @@ func writeMetrics(w http.ResponseWriter, st Status) {
 		})
 	}
 	counter("etrain_shard_sessions_accepted", func(s wire.ShardStats) uint64 { return s.Accepted })
+	counter("etrain_shard_sessions_rejected", func(s wire.ShardStats) uint64 { return s.Rejected })
 	counter("etrain_shard_sessions_active", func(s wire.ShardStats) uint64 { return s.Active })
 	counter("etrain_shard_sessions_completed", func(s wire.ShardStats) uint64 { return s.Completed })
 	counter("etrain_shard_sessions_errored", func(s wire.ShardStats) uint64 { return s.Errored })
@@ -205,6 +234,18 @@ func writeMetrics(w http.ResponseWriter, st Status) {
 	counter("etrain_shard_frames_in", func(s wire.ShardStats) uint64 { return s.FramesIn })
 	counter("etrain_shard_frames_out", func(s wire.ShardStats) uint64 { return s.FramesOut })
 	counter("etrain_shard_decisions", func(s wire.ShardStats) uint64 { return s.Decisions })
+
+	overload := func(name string, pick func(o wire.ShardOverload) uint64) {
+		shardGauge(w, st, name, func(sh ShardStatus) uint64 {
+			if sh.Overload == nil {
+				return 0
+			}
+			return pick(*sh.Overload)
+		})
+	}
+	overload("etrain_shard_hellos_refused", func(o wire.ShardOverload) uint64 { return o.Refused })
+	overload("etrain_shard_cargo_shed", func(o wire.ShardOverload) uint64 { return o.Shed })
+	overload("etrain_shard_busy_sent", func(o wire.ShardOverload) uint64 { return o.BusySent })
 }
 
 // shardGauge writes one metric line per shard, in the status's ascending

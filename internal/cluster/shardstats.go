@@ -28,3 +28,16 @@ func CountersToShardStats(id uint64, c server.Counters) wire.ShardStats {
 		Decisions:    c.Decisions,
 	}
 }
+
+// CountersToShardOverload maps the overload slice of a session server's
+// counters onto the ShardOverload control frame — the companion of
+// CountersToShardStats for the admission/shedding counters that ride on
+// their own frame so pre-overload controllers never see them.
+func CountersToShardOverload(id uint64, c server.Counters) wire.ShardOverload {
+	return wire.ShardOverload{
+		ShardID:  id,
+		Refused:  c.Refused,
+		Shed:     c.Shed,
+		BusySent: c.BusySent,
+	}
+}

@@ -23,6 +23,7 @@ var (
 		"sessions_failed", "degraded_sessions", "degraded_rate",
 		"unreconciled_sessions", "unreconciled_rate",
 		"decision_loss", "reconnects", "resumes", "replays", "restarts",
+		"busy_responses", "retry_budget_exhausted",
 	}
 )
 
@@ -142,6 +143,8 @@ type transportTally struct {
 	resumes      int
 	replays      int
 	restarts     int // devices whose connection the server_restart cut killed
+	busy         int // wire.Busy frames received (hello refusals and cargo sheds)
+	exhausted    int // busy-retry budget exhaustions across the fleet
 }
 
 // outcomeSet is everything assertions (and the report) observe:
@@ -195,6 +198,8 @@ func (set *outcomeSet) add(o *deviceResult) error {
 	set.tally.reconnects += o.reconnects
 	set.tally.resumes += o.resumes
 	set.tally.replays += o.replays
+	set.tally.busy += o.busy
+	set.tally.exhausted += o.exhausted
 	if o.restarted {
 		set.tally.restarts++
 	}
@@ -239,6 +244,10 @@ func (set *outcomeSet) metric(name, class string) (float64, error) {
 			return float64(t.replays), nil
 		case "restarts":
 			return float64(t.restarts), nil
+		case "busy_responses":
+			return float64(t.busy), nil
+		case "retry_budget_exhausted":
+			return float64(t.exhausted), nil
 		}
 	}
 	a, err := set.agg(class)

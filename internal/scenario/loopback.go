@@ -50,7 +50,14 @@ type burst struct {
 
 // newRig builds the transport for a compiled loopback scenario.
 func newRig(c *compiled) (*rig, error) {
-	r := &rig{srvA: server.New(server.Config{})}
+	// A timeline with overload_burst events installs the deterministic
+	// admission policy on every rig server; without one Admission stays
+	// nil and the byte stream is the legacy protocol exactly.
+	scfg := server.Config{}
+	if pol := newOverloadPolicy(c); pol != nil {
+		scfg.Admission = pol
+	}
+	r := &rig{srvA: server.New(scfg)}
 	for i := range c.events {
 		ev := &c.events[i]
 		switch ev.Action {
@@ -72,7 +79,9 @@ func newRig(c *compiled) (*rig, error) {
 		}
 	}
 	if r.restart != nil {
-		r.srvB = server.New(server.Config{})
+		// The replacement server shares the admission policy instance, so
+		// a cargo shed before the restart is not re-shed after it.
+		r.srvB = server.New(scfg)
 	}
 	return r, nil
 }

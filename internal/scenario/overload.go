@@ -1,0 +1,139 @@
+package scenario
+
+import (
+	"sync"
+	"time"
+
+	"etrain/internal/randx"
+	"etrain/internal/wire"
+)
+
+// overloadNamespace salts overload_burst coin streams so shed decisions
+// never alias the fault-burst streams of the same scenario seed.
+var overloadNamespace = randx.DeriveString("etrain/scenario/overload_burst")
+
+// defaultOverloadRetryAfter is the Busy backoff hint when a burst omits
+// retry_after: short enough that a shed round-trip costs the run almost
+// nothing, long enough to exercise the client's jittered wait.
+const defaultOverloadRetryAfter = time.Millisecond
+
+// overloadBurst is one compiled overload_burst: a device scope and the
+// burst's shed/refuse parameters.
+type overloadBurst struct {
+	match      deviceMatcher
+	shed       float64
+	refuse     int
+	retryAfter time.Duration
+	// seed roots the burst's shed-coin stream (scenario seed salted by
+	// the event's index and At, like a fault burst's injector seed).
+	seed int64
+}
+
+// overloadPolicy implements server.Admission deterministically: every
+// decision is a pure function of (burst seed, device, cargo ID) plus
+// bounded per-device state — never of live queue depth, wall time, or
+// goroutine interleaving. The rig serializes each device's server
+// sessions, so the Nth Hello and the Kth delivery of a cargo are
+// well-defined instants, which is what lets the golden corpus pin
+// shedding behavior byte for byte at any worker count.
+type overloadPolicy struct {
+	bursts []overloadBurst
+
+	mu sync.Mutex
+	// hellos counts fresh Hellos per device, driving refuse_hellos.
+	hellos map[uint64]int
+	// shedOnce marks (device, cargo) pairs already shed: the resume
+	// redelivery must be admitted, or shedding would loop forever.
+	shedOnce map[[2]uint64]bool
+}
+
+// newOverloadPolicy compiles the timeline's overload_burst events into
+// one policy, or nil when the timeline has none.
+func newOverloadPolicy(c *compiled) *overloadPolicy {
+	var bursts []overloadBurst
+	for i := range c.events {
+		ev := &c.events[i]
+		if ev.Action != ActionOverloadBurst {
+			continue
+		}
+		ra := ev.RetryAfter.D()
+		if ra == 0 {
+			ra = defaultOverloadRetryAfter
+		}
+		bursts = append(bursts, overloadBurst{
+			match:      ev.match,
+			shed:       ev.Shed,
+			refuse:     ev.RefuseHellos,
+			retryAfter: ra,
+			seed:       randx.Derive(c.sc.Seed, overloadNamespace, uint64(ev.index), uint64(ev.At.D())),
+		})
+	}
+	if bursts == nil {
+		return nil
+	}
+	return &overloadPolicy{
+		bursts:   bursts,
+		hellos:   make(map[uint64]int),
+		shedOnce: make(map[[2]uint64]bool),
+	}
+}
+
+// burstFor returns the burst governing a device, mirroring the fault
+// rig's precedence: the last matching burst in timeline order wins.
+func (p *overloadPolicy) burstFor(device uint64) *overloadBurst {
+	for b := len(p.bursts) - 1; b >= 0; b-- {
+		if p.bursts[b].match(int(device)) {
+			return &p.bursts[b]
+		}
+	}
+	return nil
+}
+
+// AdmitHello implements server.Admission: refuse each matching device's
+// first refuse_hellos fresh Hellos. Resumes never pass through here, so
+// a parked session's recovery is never refused.
+func (p *overloadPolicy) AdmitHello(h wire.Hello) (bool, time.Duration) {
+	b := p.burstFor(h.DeviceID)
+	if b == nil || b.refuse == 0 {
+		return true, 0
+	}
+	p.mu.Lock()
+	n := p.hellos[h.DeviceID]
+	p.hellos[h.DeviceID] = n + 1
+	p.mu.Unlock()
+	if n < b.refuse {
+		return false, b.retryAfter
+	}
+	return true, 0
+}
+
+// ShedCargo implements server.Admission: shed a matching cargo exactly
+// once when its seed-derived coin lands under the burst's probability.
+// The queued depth is deliberately ignored — it depends on scheduler
+// interleaving, and a decision based on it could not be byte-pinned.
+func (p *overloadPolicy) ShedCargo(h wire.Hello, c wire.CargoArrival, _ int) (bool, time.Duration) {
+	b := p.burstFor(h.DeviceID)
+	if b == nil || b.shed == 0 {
+		return false, 0
+	}
+	coin := uint64(randx.Derive(b.seed, h.DeviceID, c.ID))
+	if float64(coin>>11)/(1<<53) >= b.shed {
+		return false, 0
+	}
+	key := [2]uint64{h.DeviceID, c.ID}
+	p.mu.Lock()
+	done := p.shedOnce[key]
+	p.shedOnce[key] = true
+	p.mu.Unlock()
+	if done {
+		return false, 0
+	}
+	return true, b.retryAfter
+}
+
+// RetryAfter implements server.Admission: the hint for connection-level
+// refusals, where no Hello is available to pick a burst with. The rig
+// never drives those paths, but the interface requires a sane answer.
+func (p *overloadPolicy) RetryAfter() time.Duration {
+	return p.bursts[0].retryAfter
+}

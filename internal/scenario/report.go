@@ -70,6 +70,11 @@ type TransportSummary struct {
 	Resumes      int `json:"resumes"`
 	Replays      int `json:"replays"`
 	Restarts     int `json:"restarts"`
+	// BusyResponses and BudgetExhausted appear only under an
+	// overload_burst timeline (omitempty keeps older reports, and the
+	// goldens pinning them, byte-identical).
+	BusyResponses   int `json:"busy_responses,omitempty"`
+	BudgetExhausted int `json:"retry_budget_exhausted,omitempty"`
 }
 
 // AssertionResult is one evaluated predicate.
@@ -114,10 +119,12 @@ func buildReport(c *compiled, hash string, set *outcomeSet) *Report {
 			Degraded:     t.degraded,
 			Unreconciled: t.unreconciled,
 			DecisionLoss: t.decisionLoss,
-			Reconnects:   t.reconnects,
-			Resumes:      t.resumes,
-			Replays:      t.replays,
-			Restarts:     t.restarts,
+			Reconnects:      t.reconnects,
+			Resumes:         t.resumes,
+			Replays:         t.replays,
+			Restarts:        t.restarts,
+			BusyResponses:   t.busy,
+			BudgetExhausted: t.exhausted,
 		}
 	}
 	r.Assertions = set.evaluate(c.sc.Assert)
@@ -202,10 +209,17 @@ func (r *Report) Fprint(w io.Writer) error {
 		return err
 	}
 	if t := r.Transport; t != nil {
-		if _, err := fmt.Fprintf(w,
-			"\ntransport ok=%d failed=%d degraded=%d unreconciled=%d decision_loss=%d reconnects=%d resumes=%d replays=%d restarts=%d\n",
+		line := fmt.Sprintf(
+			"\ntransport ok=%d failed=%d degraded=%d unreconciled=%d decision_loss=%d reconnects=%d resumes=%d replays=%d restarts=%d",
 			t.SessionsOK, t.Failed, t.Degraded, t.Unreconciled, t.DecisionLoss, t.Reconnects, t.Resumes, t.Replays, t.Restarts,
-		); err != nil {
+		)
+		// Overload counters render only when present, so reports (and
+		// goldens) from scenarios without an overload_burst keep their
+		// exact historical bytes.
+		if t.BusyResponses > 0 || t.BudgetExhausted > 0 {
+			line += fmt.Sprintf(" busy=%d budget_exhausted=%d", t.BusyResponses, t.BudgetExhausted)
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
 			return err
 		}
 	}

@@ -54,6 +54,8 @@ type deviceResult struct {
 	reconnects   int
 	resumes      int
 	replays      int
+	busy         int // wire.Busy frames received (refusals and sheds)
+	exhausted    int // busy-retry budget exhaustions
 }
 
 // Run validates and executes the scenario, returning its report. The
@@ -301,6 +303,8 @@ func runLoopbackDevice(c *compiled, lb *rig, pd *plannedDevice, out *deviceResul
 	out.reconnects = got.Reconnects
 	out.resumes = got.Resumes
 	out.replays = got.Replays
+	out.busy = got.BusyResponses
+	out.exhausted = got.BudgetExhausted
 	out.decisionLoss = !reflect.DeepEqual(got.Decisions, expected.Decisions) ||
 		got.Stats != expected.Stats
 	return nil

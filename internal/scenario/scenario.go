@@ -84,6 +84,15 @@ const (
 	// the window are lost, cargo arrivals in the window queue up and
 	// arrive together when the device returns.
 	ActionReboot = "reboot"
+	// ActionOverloadBurst installs a deterministic admission policy on
+	// the loopback servers for the matching devices (loopback engine
+	// only): each device's first RefuseHellos fresh Hellos are refused
+	// with Busy, and each cargo whose seed-derived coin lands under Shed
+	// is shed exactly once — deferred to the resume redelivery, never
+	// dropped. Decisions are pure functions of (seed, device, cargo ID);
+	// live queue depth is ignored, so the report stays byte-pinnable.
+	// At only salts the coin stream, exactly like fault_burst.
+	ActionOverloadBurst = "overload_burst"
 	// ActionDiurnalProfile attaches a diurnal activity profile to the
 	// matching devices from synthesis: cargo follows the profile's
 	// per-class curves and heartbeat cadence its scheduled events. It
@@ -203,6 +212,16 @@ type Event struct {
 	Reset       float64 `json:"reset,omitempty"`
 	Truncate    float64 `json:"truncate,omitempty"`
 	ConnectFail float64 `json:"connect_fail,omitempty"`
+	// Shed is the overload_burst per-cargo shed probability in [0, 1]:
+	// a cargo is shed (once, on first delivery) when its coin — derived
+	// from (seed, device, cargo ID) — lands under Shed.
+	Shed float64 `json:"shed,omitempty"`
+	// RefuseHellos makes overload_burst refuse each matching device's
+	// first N fresh Hellos with Busy before admitting.
+	RefuseHellos int `json:"refuse_hellos,omitempty"`
+	// RetryAfter is the backoff hinted in overload_burst Busy frames
+	// (1ms when omitted).
+	RetryAfter Duration `json:"retry_after,omitempty"`
 	// Profile names a diurnal preset for diurnal_profile
 	// (diurnal.ByName: flat, week, weekday, weekend).
 	Profile string `json:"profile,omitempty"`
@@ -476,6 +495,20 @@ func compileEvent(ev Event, index int, horizon time.Duration, loopback bool) (co
 		d := ev.Duration.D()
 		if d <= 0 {
 			return ce, fmt.Errorf("reboot duration %v must be positive", d)
+		}
+	case ActionOverloadBurst:
+		needsLoopback = true
+		if ev.Shed < 0 || ev.Shed > 1 || ev.Shed != ev.Shed {
+			return ce, fmt.Errorf("shed probability %v outside [0, 1]", ev.Shed)
+		}
+		if ev.RefuseHellos < 0 || ev.RefuseHellos > 16 {
+			return ce, fmt.Errorf("refuse_hellos %d outside [0, 16]", ev.RefuseHellos)
+		}
+		if ev.Shed == 0 && ev.RefuseHellos == 0 {
+			return ce, fmt.Errorf("overload_burst with nothing to shed or refuse")
+		}
+		if ra := ev.RetryAfter.D(); ra < 0 || ra > time.Second {
+			return ce, fmt.Errorf("retry_after %v outside [0, 1s]", ra)
 		}
 	case ActionDiurnalProfile:
 		if at != 0 {

@@ -135,8 +135,8 @@ func planDevice(c *compiled, i int) (*devicePlan, error) {
 }
 
 // apply records one event on the plan. Transport-level actions
-// (fault_burst, server_restart) are handled by the loopback rig, not
-// here.
+// (fault_burst, server_restart, overload_burst) are handled by the
+// loopback rig, not here.
 func (p *devicePlan) apply(ev compiledEvent) {
 	at := ev.At.D()
 	switch ev.Action {

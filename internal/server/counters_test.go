@@ -15,12 +15,15 @@ import (
 // plus one outcome counter) transition would break the ledger.
 func checkCountersConsistent(t *testing.T, c Counters) {
 	t.Helper()
-	if c.Accepted != c.Active+c.Completed+c.Errored+c.Parked {
-		t.Errorf("torn snapshot: accepted %d != active %d + completed %d + errored %d + parked %d",
-			c.Accepted, c.Active, c.Completed, c.Errored, c.Parked)
+	if c.Accepted != c.Active+c.Completed+c.Errored+c.Parked+c.Refused {
+		t.Errorf("torn snapshot: accepted %d != active %d + completed %d + errored %d + parked %d + refused %d",
+			c.Accepted, c.Active, c.Completed, c.Errored, c.Parked, c.Refused)
 	}
 	if c.Decisions > c.FramesOut {
 		t.Errorf("torn snapshot: decisions %d > frames out %d", c.Decisions, c.FramesOut)
+	}
+	if c.BusySent > c.FramesOut {
+		t.Errorf("torn snapshot: busy sent %d > frames out %d", c.BusySent, c.FramesOut)
 	}
 }
 

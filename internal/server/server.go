@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"etrain/internal/radio"
+	"etrain/internal/wire"
 )
 
 // Defaults for the zero Config.
@@ -45,6 +46,11 @@ var ErrServerClosed = errors.New("server: closed")
 // and parked its engine state for resume instead of failing. It is how
 // ServeConn distinguishes a recoverable disconnect from a protocol error.
 var ErrSessionParked = errors.New("server: session parked awaiting resume")
+
+// errHelloRefused reports that the admission policy refused a Hello: the
+// client was answered with Busy and the connection closed without a
+// session. It resolves the outcome as Refused, not Errored.
+var errHelloRefused = errors.New("server: hello refused by admission policy")
 
 // Config parameterizes a Server. The zero value serves with defaults, no
 // deadlines and the Galaxy S4 power model.
@@ -75,6 +81,12 @@ type Config struct {
 	// sessions whose peers never read or write are forced to unwind even
 	// when Shutdown's context has no deadline of its own.
 	DrainTimeout time.Duration
+	// Admission, when non-nil, turns on explicit overload signaling: the
+	// policy gates new Hellos and sheds cargo under queue pressure, and
+	// every refusal — including connection-limit, draining and lame-duck
+	// refusals — is answered with a wire.Busy frame instead of a silent
+	// close. Nil (the default) preserves the legacy byte stream exactly.
+	Admission Admission
 	// Power is the radio energy model sessions account under
 	// (radio.GalaxyS43G() if unset).
 	Power radio.PowerModel
@@ -93,8 +105,8 @@ type Config struct {
 // every multi-counter state change — a session opening, an outcome
 // resolving, a frame going out with its Decision classification — is one
 // locked transition, and Stats copies the whole set under the same lock.
-// In particular Accepted == Active + Completed + Errored + Parked and
-// Decisions <= FramesOut hold in every snapshot, which is what lets a
+// In particular Accepted == Active + Completed + Errored + Parked + Refused
+// and Decisions <= FramesOut hold in every snapshot, which is what lets a
 // cluster shard stream these counters as ShardStats frames without ever
 // publishing a torn value.
 type Counters struct {
@@ -112,6 +124,9 @@ type Counters struct {
 	FramesIn     uint64 // frames decoded from clients
 	FramesOut    uint64 // frames written to clients
 	Decisions    uint64 // Decision frames among FramesOut
+	Refused      uint64 // Hellos refused by the admission policy
+	Shed         uint64 // cargo frames shed under queue pressure (deferred to resume)
+	BusySent     uint64 // wire.Busy frames written to clients
 }
 
 // Server hosts device sessions over accepted connections.
@@ -204,9 +219,8 @@ func (s *Server) Serve(l net.Listener) error {
 			}
 			return err
 		}
-		if !s.register(conn) {
-			s.count(func(c *Counters) { c.Rejected++ })
-			conn.Close()
+		if ok, reason := s.register(conn); !ok {
+			s.refuse(conn, reason)
 			continue
 		}
 		s.wg.Add(1)
@@ -221,9 +235,8 @@ func (s *Server) Serve(l net.Listener) error {
 // session's error (nil for a cleanly completed protocol). It respects the
 // connection limit and the drain state exactly like Serve.
 func (s *Server) ServeConn(conn net.Conn) error {
-	if !s.register(conn) {
-		s.count(func(c *Counters) { c.Rejected++ })
-		conn.Close()
+	if ok, reason := s.register(conn); !ok {
+		s.refuse(conn, reason)
 		return ErrServerClosed
 	}
 	s.wg.Add(1)
@@ -238,8 +251,9 @@ func (s *Server) ServeConn(conn net.Conn) error {
 //
 // Opening is one counter transition (Accepted and Active together) and the
 // outcome another (Active release plus exactly one outcome counter), so
-// Accepted == Active + Completed + Errored + Parked holds in every
-// Stats snapshot — the invariant the torn-counter regression test races.
+// Accepted == Active + Completed + Errored + Parked + Refused holds in
+// every Stats snapshot — the invariant the torn-counter regression test
+// races.
 func (s *Server) serveSession(conn net.Conn) (err error) {
 	s.count(func(c *Counters) {
 		c.Accepted++
@@ -263,11 +277,13 @@ func (s *Server) serveSession(conn net.Conn) (err error) {
 				c.Completed++
 			case errors.Is(err, ErrSessionParked):
 				c.Parked++
+			case errors.Is(err, errHelloRefused):
+				c.Refused++
 			default:
 				c.Errored++
 			}
 		})
-		if err != nil && !errors.Is(err, ErrSessionParked) {
+		if err != nil && !errors.Is(err, ErrSessionParked) && !errors.Is(err, errHelloRefused) {
 			s.logf("session %v: %v", conn.RemoteAddr(), err)
 		}
 	}()
@@ -354,18 +370,59 @@ func (s *Server) removeListener(l net.Listener) {
 }
 
 // register admits conn into the session set unless the server is
-// draining, lame-ducking, or at its connection limit.
-func (s *Server) register(conn net.Conn) bool {
+// draining, lame-ducking, or at its connection limit; on refusal it
+// reports which pressure refused so the caller can signal it.
+func (s *Server) register(conn net.Conn) (bool, wire.BusyReason) {
 	if s.lameDuck.Load() {
-		return false
+		return false, wire.ReasonLameDuck
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed || len(s.conns) >= s.cfg.MaxConns {
-		return false
+	if s.closed {
+		return false, wire.ReasonDraining
+	}
+	if len(s.conns) >= s.cfg.MaxConns {
+		return false, wire.ReasonConns
 	}
 	s.conns[conn] = struct{}{}
-	return true
+	return true, 0
+}
+
+// refuse closes a connection register would not admit. Every refusal is
+// counted Rejected — including the legacy silent-close path, so
+// pre-upgrade clients' rejections stay observable in Counters and
+// /metrics — and with an admission policy configured the close is
+// preceded by an explicit wire.Busy so the client can tell "busy" from a
+// network reset. The Busy write runs off the caller's path: a refused
+// peer that never reads must not stall the accept loop. The write is
+// bounded by the write deadline when a Clock is configured; without one
+// it ends when the peer reads or closes.
+func (s *Server) refuse(conn net.Conn, reason wire.BusyReason) {
+	s.count(func(c *Counters) { c.Rejected++ })
+	a := s.cfg.Admission
+	if a == nil {
+		conn.Close()
+		return
+	}
+	b := wire.Busy{RetryAfter: a.RetryAfter(), Reason: reason}
+	//lint:ignore ctxloop refusal boundary: the Busy write must not stall the accept loop, and it self-terminates — the write deadline bounds it under a Clock, the conn.Close ends it otherwise
+	go func() {
+		s.sendBusy(conn, b)
+		conn.Close()
+	}()
+}
+
+// sendBusy writes one Busy control frame outside any session's emit path,
+// so it is never sequence-numbered or journaled. FramesOut and BusySent
+// move in one transition; a failed write counts nothing.
+func (s *Server) sendBusy(conn net.Conn, b wire.Busy) {
+	s.writeDeadline(conn)
+	if wire.NewWriter(conn).Write(b) == nil {
+		s.cmu.Lock()
+		s.ctrs.BusySent++
+		s.ctrs.FramesOut++
+		s.cmu.Unlock()
+	}
 }
 
 func (s *Server) unregister(conn net.Conn) {

@@ -104,6 +104,12 @@ func (s *Server) runSession(conn net.Conn) error {
 	var sess *session
 	switch h := first.msg.(type) {
 	case wire.Hello:
+		if a := s.cfg.Admission; a != nil {
+			if ok, ra := a.AdmitHello(h); !ok {
+				s.sendBusy(conn, wire.Busy{RetryAfter: ra, Reason: wire.ReasonConns})
+				return errHelloRefused
+			}
+		}
 		sess = &session{srv: s, conn: conn, w: wire.NewWriter(conn)}
 		rep, err := NewReplayer(h, s.cfg.Power, sess.emit)
 		if err != nil {
@@ -139,6 +145,21 @@ func (s *Server) runSession(conn net.Conn) error {
 				return s.reparkOr(sess, readLossErr(ev.err))
 			}
 			return fmt.Errorf("server: reading frame: %w", ev.err)
+		}
+		if a := s.cfg.Admission; a != nil {
+			if c, cargo := ev.msg.(wire.CargoArrival); cargo {
+				if shed, ra := a.ShedCargo(sess.hello, c, len(events)); shed {
+					// Shed defers, it never loses: the event is not
+					// consumed (no inSeq advance, no Apply), so the
+					// resume handshake's ResumeOK.Got makes the client
+					// redeliver it. Busy goes out as a control frame —
+					// never numbered, never journaled — then the session
+					// parks awaiting that resume.
+					s.count(func(ct *Counters) { ct.Shed++ })
+					sess.busy(wire.Busy{RetryAfter: ra, Reason: wire.ReasonQueue})
+					return s.reparkOr(sess, fmt.Errorf("server: cargo %d shed under queue pressure", c.ID))
+				}
+			}
 		}
 		sess.inSeq++
 		if err := sess.rep.Apply(ev.msg); err != nil {
@@ -262,6 +283,20 @@ func (sess *session) send(m wire.Message) {
 	if err := sess.write(m); err != nil {
 		sess.broken = err
 	}
+}
+
+// busy writes one Busy control frame on the session's conn — direct, not
+// through emit, so it is never sequence-numbered or journaled. A write
+// failure latches broken exactly like any session write.
+func (sess *session) busy(b wire.Busy) {
+	if sess.broken != nil {
+		return
+	}
+	if err := sess.write(b); err != nil {
+		sess.broken = err
+		return
+	}
+	sess.srv.count(func(c *Counters) { c.BusySent++ })
 }
 
 // write sends one frame under the configured write deadline.

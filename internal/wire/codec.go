@@ -121,6 +121,18 @@ func Append(dst []byte, m Message) ([]byte, error) {
 				return nil, err
 			}
 		}
+	case Busy:
+		dst = appendDur(dst, v.RetryAfter)
+		dst = append(dst, byte(v.Reason))
+	case Redirect:
+		if dst, err = appendString(dst, v.Addr); err != nil {
+			return nil, err
+		}
+	case ShardOverload:
+		dst = appendU64(dst, v.ShardID)
+		dst = appendU64(dst, v.Refused)
+		dst = appendU64(dst, v.Shed)
+		dst = appendU64(dst, v.BusySent)
 	default:
 		return nil, fmt.Errorf("wire: cannot encode message type %T", m)
 	}
@@ -259,6 +271,17 @@ func decodeBody(typ Type, body []byte) (Message, error) {
 			}
 		}
 		m = rt
+	case TypeBusy:
+		m = Busy{RetryAfter: d.dur(), Reason: BusyReason(d.u8())}
+	case TypeRedirect:
+		m = Redirect{Addr: d.str()}
+	case TypeShardOverload:
+		m = ShardOverload{
+			ShardID:  d.u64(),
+			Refused:  d.u64(),
+			Shed:     d.u64(),
+			BusySent: d.u64(),
+		}
 	default:
 		return nil, fmt.Errorf("wire: unknown message type %d", uint8(typ))
 	}

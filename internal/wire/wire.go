@@ -104,6 +104,9 @@ const (
 	TypeShardBeat
 	TypeShardStats
 	TypeRouteTable
+	TypeBusy
+	TypeRedirect
+	TypeShardOverload
 )
 
 // String returns the type's protocol name.
@@ -133,6 +136,12 @@ func (t Type) String() string {
 		return "shard_stats"
 	case TypeRouteTable:
 		return "route_table"
+	case TypeBusy:
+		return "busy"
+	case TypeRedirect:
+		return "redirect"
+	case TypeShardOverload:
+		return "shard_overload"
 	default:
 		return "invalid"
 	}
@@ -374,6 +383,86 @@ type RouteTable struct {
 
 // MsgType implements Message.
 func (RouteTable) MsgType() Type { return TypeRouteTable }
+
+// BusyReason says why a server sent a Busy frame, so clients and ledgers
+// can distinguish connection-limit pressure from queue pressure from an
+// administrative wind-down.
+type BusyReason uint8
+
+// Busy reasons. The zero value is invalid on the wire.
+const (
+	// ReasonConns: the shard is at its connection limit (MaxConns) or the
+	// admission policy refused the Hello.
+	ReasonConns BusyReason = iota + 1
+	// ReasonQueue: the session's event queue is saturated past the
+	// admission policy's high-water mark and the frame was shed.
+	ReasonQueue
+	// ReasonDraining: the shard is draining (administrative rebalance).
+	ReasonDraining
+	// ReasonLameDuck: the shard is lame-ducking ahead of shutdown.
+	ReasonLameDuck
+)
+
+// String returns the reason's protocol name.
+func (r BusyReason) String() string {
+	switch r {
+	case ReasonConns:
+		return "conns"
+	case ReasonQueue:
+		return "queue"
+	case ReasonDraining:
+		return "draining"
+	case ReasonLameDuck:
+		return "lame-duck"
+	default:
+		return "invalid"
+	}
+}
+
+// Busy is the server's explicit overload signal: instead of silently
+// closing, an admission-enabled server answers a refused Hello (or a shed
+// event frame) with Busy and then parks or closes. RetryAfter is the
+// server's suggested wait; a well-behaved client sleeps a seed-jittered
+// fraction of it and spends one retry-budget token before trying again
+// (DESIGN.md §15). Busy is a control frame and is never sequence-numbered.
+type Busy struct {
+	// RetryAfter is the server's suggested backoff before the next attempt.
+	RetryAfter time.Duration
+	// Reason says which pressure produced the refusal.
+	Reason BusyReason
+}
+
+// MsgType implements Message.
+func (Busy) MsgType() Type { return TypeBusy }
+
+// Redirect hints that another shard should serve this device — sent
+// alongside Busy when the refusing shard knows a better owner (e.g. it is
+// draining and the route table has already moved the device). Clients
+// treat it as advisory: the route table remains authoritative.
+type Redirect struct {
+	// Addr is the suggested session address ("host:port").
+	Addr string
+}
+
+// MsgType implements Message.
+func (Redirect) MsgType() Type { return TypeRedirect }
+
+// ShardOverload is a shard's periodic overload-counter snapshot on its
+// control connection, sent after ShardStats when the shard runs an
+// admission policy. Like ShardStats it is snapshotted under one lock, so
+// its fields are one consistent instant of the shard's overload
+// accounting.
+type ShardOverload struct {
+	// ShardID echoes the registration.
+	ShardID uint64
+
+	Refused  uint64 // Hellos refused by the admission policy
+	Shed     uint64 // cargo event frames shed under queue pressure
+	BusySent uint64 // Busy frames written to clients
+}
+
+// MsgType implements Message.
+func (ShardOverload) MsgType() Type { return TypeShardOverload }
 
 // SessionToken derives the resume token of a session from its Hello: an
 // FNV-1a hash of the Hello's canonical frame encoding. Both ends compute

@@ -83,6 +83,21 @@ var goldenFrames = []struct {
 		msg:  RouteTable{Epoch: 3, Seed: 42, Vnodes: 64, Shards: []RouteEntry{{ShardID: 1, Addr: "a:1"}, {ShardID: 2, Addr: "b:2"}}},
 		hex:  "00000032010c0000000000000003000000000000002a00000040000200000000000000010003613a3100000000000000020003623a32",
 	},
+	{
+		name: "busy",
+		msg:  Busy{RetryAfter: 250 * time.Millisecond, Reason: ReasonQueue},
+		hex:  "0000000b010d000000000ee6b28002",
+	},
+	{
+		name: "redirect",
+		msg:  Redirect{Addr: "127.0.0.1:9300"},
+		hex:  "00000012010e000e3132372e302e302e313a39333030",
+	},
+	{
+		name: "shard_overload",
+		msg:  ShardOverload{ShardID: 2, Refused: 5, Shed: 3, BusySent: 7},
+		hex:  "00000022010f0000000000000002000000000000000500000000000000030000000000000007",
+	},
 }
 
 func TestGoldenEncoding(t *testing.T) {
@@ -133,6 +148,13 @@ func roundTripMessages() []Message {
 		RouteTable{},
 		RouteTable{Epoch: ^uint64(0), Seed: -1, Vnodes: ^uint32(0),
 			Shards: []RouteEntry{{ShardID: 9, Addr: ""}, {ShardID: 8, Addr: "host.example:1"}}},
+		Busy{},
+		Busy{RetryAfter: -time.Second, Reason: BusyReason(255)},
+		Busy{RetryAfter: 1<<62 - 1, Reason: ReasonLameDuck},
+		Redirect{},
+		Redirect{Addr: "[::1]:4810"},
+		ShardOverload{},
+		ShardOverload{ShardID: ^uint64(0), Refused: ^uint64(0), Shed: 1, BusySent: ^uint64(0)},
 	}
 }
 
